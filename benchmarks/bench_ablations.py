@@ -1,0 +1,117 @@
+"""Ablations of the microarchitectural design choices (DESIGN.md section 6).
+
+Not figures from the paper, but measurements of the mechanisms the paper
+argues for:
+
+- compressed version-block caching (direct access) on/off,
+- cache-pollution avoidance during full lookups on/off,
+- version-list sorting on/off with out-of-order version creation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import TABLE2
+from repro.harness.experiments import _irregular_inputs, _run_irregular
+from repro.harness.report import format_table
+from repro.workloads import linked_list
+from repro.workloads.opgen import READ_INTENSIVE
+
+
+@pytest.mark.figure("ablation")
+def test_compression_ablation(run_once, scale):
+    """Direct access via compressed lines vs always walking the list."""
+
+    def measure():
+        rows = []
+        for comp in (True, False):
+            for cores, tag in ((1, "1T"), (scale.max_cores, f"{scale.max_cores}T")):
+                cfg = dataclasses.replace(TABLE2, compression_enabled=comp)
+                r = _run_irregular("linked_list", cfg, scale, "large",
+                                   READ_INTENSIVE, "versioned", cores,
+                                   n_ops=scale.sens_ops)
+                rows.append((
+                    "on" if comp else "off", tag, r.cycles,
+                    r.stats.direct_hit_rate, r.stats.full_lookups,
+                ))
+        return rows
+
+    rows = run_once(measure)
+    print()
+    print(format_table(("compression", "variant", "cycles", "direct rate",
+                        "full lookups"), rows,
+                       title="Ablation: compressed version-block lines"))
+    by = {(r[0], r[1]): r for r in rows}
+    on_seq = by[("on", "1T")]
+    off_seq = by[("off", "1T")]
+    assert on_seq[3] > 0.3, "direct accesses should serve a meaningful fraction"
+    assert off_seq[3] == 0.0
+    # On the sequential run (no convoy-timing luck) direct access wins.
+    assert on_seq[2] < off_seq[2], "compression should speed up 1T runs"
+
+
+@pytest.mark.figure("ablation")
+def test_pollution_avoidance_ablation(run_once, scale):
+    """Selective caching during full lookups vs installing every block."""
+
+    def measure():
+        rows = []
+        for avoid in (True, False):
+            cfg = dataclasses.replace(TABLE2, pollution_avoidance=avoid)
+            r = _run_irregular("linked_list", cfg, scale, "large", READ_INTENSIVE,
+                               "versioned", scale.max_cores, n_ops=scale.sens_ops)
+            rows.append((
+                "on" if avoid else "off", r.cycles,
+                r.stats.l1_hit_rate, r.stats.l1_misses,
+            ))
+        return rows
+
+    rows = run_once(measure)
+    print()
+    print(format_table(("pollution avoidance", "cycles", "L1 hit rate", "L1 misses"),
+                       rows, title="Ablation: cache-pollution avoidance"))
+
+
+@pytest.mark.figure("ablation")
+def test_sorted_list_out_of_order_ablation(run_once):
+    """Sorted lists pay on out-of-order insert but win on early lookup cutoff.
+
+    Directly measures version-list walk counts with an adversarial
+    out-of-order creation order.
+    """
+    from repro.ostruct.version_block import VersionBlock, VersionList
+
+    def measure():
+        results = {}
+        for mode in (True, False):
+            lst = VersionList(0, sorted_insert=mode)
+            insert_visits = 0
+            # Interleaved creation order: 0, 64, 1, 65, 2, 66, ...
+            order = [i // 2 if i % 2 == 0 else 64 + i // 2 for i in range(128)]
+            for i, v in enumerate(order):
+                _, visited = lst.insert(VersionBlock(v, v, 16 * i))
+                insert_visits += visited
+            # The sorted list's selling points (Section III): LOAD-LATEST
+            # answers at the head, and a lookup of a not-yet-created
+            # version terminates early instead of scanning everything.
+            latest_visits = sum(lst.find_latest(1 << 20)[1] for _ in range(64))
+            missing_visits = sum(lst.find_exact(200 + v)[1] for v in range(64))
+            results[mode] = (insert_visits, latest_visits, missing_visits)
+        return results
+
+    results = run_once(measure)
+    rows = [
+        ("sorted", *results[True]),
+        ("unsorted", *results[False]),
+    ]
+    print()
+    print(format_table(("mode", "insert walk", "latest walk", "missing walk"), rows,
+                       title="Ablation: version-list sorting (out-of-order creation)"))
+    # Sorting costs on out-of-order insert but makes LOAD-LATEST O(1) and
+    # bounds the cost of probing uncreated versions.
+    assert results[True][0] >= results[False][0]
+    assert results[True][1] < results[False][1]
+    assert results[True][2] < results[False][2]

@@ -1,0 +1,40 @@
+"""Figure 10: slowdown from injecting 2-10 cycles into every versioned
+operation, sequential (1T) and parallel (32T).
+
+Paper shape: "adding 10 cycles to each versioned access reduces
+performance by up to 16%. The impact is much milder when using smaller
+(and more realistic) latencies."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import fig10_latency
+
+
+@pytest.mark.figure("fig10")
+def test_fig10_latency(run_once, scale):
+    result = run_once(fig10_latency, scale)
+    print()
+    print(result["text"])
+
+    # Injected latency only ever slows sequential runs down; parallel
+    # runs get slack for convoy-timing luck (delaying one task can
+    # accidentally smooth a lock convoy).
+    worst: dict[tuple[str, str], float] = {}
+    for bench, variant, extra, rel in result["rows"]:
+        limit = 0.005 if variant == "1T" else 0.10
+        assert rel <= limit, (bench, variant, extra, rel)
+        worst[(bench, variant)] = min(worst.get((bench, variant), 0.0), rel)
+    # The damage is bounded.  The paper's bound is ~16% because its
+    # 10000-element structures miss L1 frequently, hiding the injected
+    # cycles behind LLC latency; the quick-scale structures are largely
+    # L1-resident, so sequential runs feel the extra cycles almost fully
+    # (see EXPERIMENTS.md).  Parallel (32T) runs stay mild either way.
+    assert all(w > -0.55 for w in worst.values()), worst
+    for (bench, variant), w in worst.items():
+        if variant.endswith("T") and variant != "1T":
+            assert w > -0.35, (bench, variant, w)
+    # Somebody actually noticed the extra cycles.
+    assert min(w for w in worst.values()) < 0.0

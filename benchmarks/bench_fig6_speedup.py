@@ -1,0 +1,33 @@
+"""Figure 6: speedup of parallel versioned (32 cores) over sequential
+unversioned, across all six benchmarks, two sizes and two mixes.
+
+Paper shape: every workload beats the sequential unversioned baseline at
+32 cores; regular workloads (matmul, Levenshtein) scale furthest; the
+red-black tree gains least (single writer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import fig6_speedup
+
+
+@pytest.mark.figure("fig6")
+def test_fig6_speedup(run_once, scale):
+    result = run_once(fig6_speedup, scale)
+    print()
+    print(result["text"])
+
+    by_bench: dict[str, list[float]] = {}
+    for bench, size, mix, speedup in result["rows"]:
+        by_bench.setdefault(bench, []).append(speedup)
+
+    # Shape: parallel versioned beats sequential unversioned on the
+    # regular workloads and on the large irregular runs.
+    assert max(by_bench["matmul"]) > 1.5
+    assert max(by_bench["levenshtein"]) > 1.5
+    for bench in ("linked_list", "binary_tree", "hash_table"):
+        assert max(by_bench[bench]) > 1.0, f"{bench} never beat the baseline"
+    # The red-black tree is the weakest scaler (single writer).
+    assert max(by_bench["rb_tree"]) <= max(by_bench["binary_tree"]) * 1.5

@@ -1,0 +1,31 @@
+"""Figure 7: scalability — speedup over *sequential versioned* execution,
+large read-intensive runs, 4..32 cores.
+
+Paper shape: speedup grows with core count for every workload; regular
+workloads scale furthest (up to ~25-30x at 32 cores in the paper); the
+red-black tree flattens early (single writer throttles the root).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import fig7_scalability
+
+
+@pytest.mark.figure("fig7")
+def test_fig7_scalability(run_once, scale):
+    result = run_once(fig7_scalability, scale)
+    print()
+    print(result["text"])
+
+    series = result["series"]
+    cores = result["cores"]
+    for bench, speedups in series.items():
+        # More cores never catastrophically hurts (allow 15% noise).
+        assert speedups[-1] >= speedups[0] * 0.85, (bench, speedups)
+    # Regular workloads reach higher speedups than the single-writer tree.
+    assert max(series["matmul"]) > max(series["rb_tree"])
+    assert max(series["levenshtein"]) > max(series["rb_tree"])
+    # Meaningful parallelism is achieved somewhere (paper: up to ~19-30x).
+    assert max(max(s) for s in series.values()) > 2.0

@@ -1,0 +1,30 @@
+"""Figure 8: snapshot isolation — versioned binary tree vs unversioned
+tree under a read-write lock; 3:1 scan:insert, scan ranges 1/8/64.
+
+Paper shape: below 1 at low core counts (versioning overhead), above 1 at
+32 cores (readers overlap writers; the rwlock cannot); versioned
+self-speedup ~12 vs rwlock ~8.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import fig8_snapshot_isolation
+
+
+@pytest.mark.figure("fig8")
+def test_fig8_snapshot_isolation(run_once, scale):
+    result = run_once(fig8_snapshot_isolation, scale)
+    print()
+    print(result["text"])
+
+    # Shape: the versioned tree's advantage grows with cores for every
+    # scan range, and at the top core count it wins for at least one range.
+    for name, ratio_series in result["series"].items():
+        assert ratio_series[-1] >= ratio_series[0] * 0.9, (name, ratio_series)
+    assert max(s[-1] for s in result["series"].values()) > 1.0, (
+        "versioned tree never outperformed the rwlock tree at max cores"
+    )
+    # Versioned execution self-scales at least as well as the rwlock.
+    assert result["self_speedup_versioned"] > result["self_speedup_rwlock"] * 0.9

@@ -1,0 +1,28 @@
+"""Figure 9: L1 size sensitivity, 8-128 KiB against the 32 KiB baseline.
+
+Paper shape: "increasing the L1 cache size beyond 32kB has limited impact
+— up to 1.23x and usually much less"; parallel (32T) runs are less
+sensitive than sequential ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import fig9_l1_size
+
+
+@pytest.mark.figure("fig9")
+def test_fig9_l1_size(run_once, scale):
+    result = run_once(fig9_l1_size, scale)
+    print()
+    print(result["text"])
+
+    deltas = [rel for *_, rel in result["rows"]]
+    # Limited impact overall (the paper's bound is ~±0.3 around baseline).
+    assert max(abs(d) for d in deltas) < 0.6, max(deltas)
+    # Bigger caches never dramatically hurt.
+    biggest = max(r[2] for r in result["rows"])
+    for bench, variant, kib, rel in result["rows"]:
+        if kib == biggest:
+            assert rel > -0.15, (bench, variant, rel)

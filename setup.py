@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+``pip install -e . --no-build-isolation`` needs the ``wheel`` package for
+PEP 660 editable installs; on environments without it, use::
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

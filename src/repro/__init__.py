@@ -1,0 +1,85 @@
+"""repro — reproduction of *Architectural Support for Unlimited Memory
+Versioning and Renaming* (Gilad, Mayzels, Raab, Oskin, Etsion; IPDPS 2018).
+
+The package provides:
+
+- a trace-driven multicore simulator with the paper's Table II platform
+  (:mod:`repro.sim`),
+- the O-structure microarchitecture — version blocks, compressed cache
+  lines, direct/full lookup, locking, garbage collection
+  (:mod:`repro.ostruct`),
+- the task runtime and the Figure 1 library API (:mod:`repro.runtime`),
+- the six evaluation workloads (:mod:`repro.workloads`),
+- a software (real threads) O-structure runtime (:mod:`repro.sw`),
+- the experiment harness regenerating every figure (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import Machine, MachineConfig, Task, Versioned
+
+    def producer(tid, cell):
+        yield cell.store_ver(tid, 42)
+
+    def consumer(tid, cell):
+        value = yield cell.load_ver(0)   # blocks until version 0 exists
+        return value
+
+    m = Machine(MachineConfig(num_cores=2))
+    cell = Versioned(m.heap.alloc_versioned(1))
+    tasks = [Task(0, producer, cell), Task(1, consumer, cell)]
+    m.submit(tasks)
+    stats = m.run()
+    assert tasks[1].result == 42
+"""
+
+from .config import CacheConfig, MachineConfig, TABLE2
+from .errors import (
+    AllocationError,
+    ConfigError,
+    DeadlockError,
+    FreeListExhausted,
+    NotLockedError,
+    ProtectionFault,
+    ReproError,
+    SimulationError,
+    VersionExistsError,
+)
+from .runtime.task import Task, TaskTracker
+from .runtime.scheduler import StaticScheduler
+from .runtime.versioned import Versioned
+from .runtime.istructures import IStructure, MStructure, new_istructure, new_mstructure
+from .runtime.rwlock import SimRWLock
+from .sim.machine import Machine, run_tasks
+from .sim.stats import SimStats
+from .sim.trace import Tracer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "MachineConfig",
+    "TABLE2",
+    "Machine",
+    "run_tasks",
+    "SimStats",
+    "Task",
+    "TaskTracker",
+    "StaticScheduler",
+    "Versioned",
+    "IStructure",
+    "MStructure",
+    "new_istructure",
+    "new_mstructure",
+    "SimRWLock",
+    "Tracer",
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "DeadlockError",
+    "ProtectionFault",
+    "VersionExistsError",
+    "NotLockedError",
+    "FreeListExhausted",
+    "AllocationError",
+    "__version__",
+]

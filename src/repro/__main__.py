@@ -1,0 +1,71 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro table2
+    python -m repro fig6 [--scale quick|paper]
+    python -m repro fig7 fig8 fig9 fig10 gc
+    python -m repro all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .harness import experiments
+from .harness.presets import get_scale
+
+EXPERIMENTS = {
+    "table2": lambda scale: experiments.table2_platform(),
+    "fig6": experiments.fig6_speedup,
+    "fig7": experiments.fig7_scalability,
+    "fig8": experiments.fig8_snapshot_isolation,
+    "fig9": experiments.fig9_l1_size,
+    "fig10": experiments.fig10_latency,
+    "gc": experiments.gc_overhead,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the IPDPS 2018 O-structures evaluation.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help=f"experiments to run: {', '.join(EXPERIMENTS)}, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=("quick", "paper"),
+        help="workload scale (paper sizes take hours on a Python simulator)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.targets == ["list"]:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    targets = list(EXPERIMENTS) if "all" in args.targets else args.targets
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    scale = get_scale(args.scale)
+    for name in targets:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](scale)
+        elapsed = time.perf_counter() - start
+        print(result["text"])
+        print(f"[{name}: {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Result analysis: speedups, series, crossovers, summary statistics."""
+
+from .speedup import (
+    crossover_point,
+    geomean,
+    relative_speedup,
+    scaling_efficiency,
+    speedup_table,
+    summarize_runs,
+)
+
+__all__ = [
+    "geomean",
+    "relative_speedup",
+    "speedup_table",
+    "scaling_efficiency",
+    "crossover_point",
+    "summarize_runs",
+]

@@ -1,0 +1,87 @@
+"""Speedup and scaling analysis over workload runs.
+
+Helpers the harness and benches use to turn raw cycle counts into the
+quantities the paper plots: relative speedups, self-speedup scaling
+curves, efficiency, and the core-count at which one implementation
+overtakes another (the Figure 8 crossover).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import ConfigError
+from ..workloads.base import WorkloadRun
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the conventional average for speedups)."""
+    if not values:
+        raise ConfigError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def relative_speedup(baseline_cycles: int, other_cycles: int) -> float:
+    """How many times faster ``other`` is than ``baseline``."""
+    if other_cycles <= 0 or baseline_cycles <= 0:
+        raise ConfigError("cycle counts must be positive")
+    return baseline_cycles / other_cycles
+
+
+def speedup_table(
+    baseline: WorkloadRun, runs: Sequence[WorkloadRun]
+) -> list[tuple[str, int, float]]:
+    """``(variant, cycles, speedup-vs-baseline)`` rows."""
+    return [
+        (r.variant, r.cycles, relative_speedup(baseline.cycles, r.cycles))
+        for r in runs
+    ]
+
+
+def scaling_efficiency(
+    core_counts: Sequence[int], speedups: Sequence[float]
+) -> list[float]:
+    """Parallel efficiency: speedup divided by core count."""
+    if len(core_counts) != len(speedups):
+        raise ConfigError("length mismatch")
+    if any(c <= 0 for c in core_counts):
+        raise ConfigError("core counts must be positive")
+    return [s / c for c, s in zip(core_counts, speedups)]
+
+
+def crossover_point(
+    xs: Sequence[int], ratios: Sequence[float], threshold: float = 1.0
+) -> int | None:
+    """First x at which ``ratios`` reaches ``threshold`` (Figure 8).
+
+    Returns ``None`` if the series never crosses.
+    """
+    if len(xs) != len(ratios):
+        raise ConfigError("length mismatch")
+    for x, r in zip(xs, ratios):
+        if r >= threshold:
+            return x
+    return None
+
+
+def summarize_runs(runs: Sequence[WorkloadRun]) -> dict[str, float]:
+    """Aggregate microarchitectural statistics across runs."""
+    if not runs:
+        raise ConfigError("no runs to summarize")
+    total_versioned = sum(r.stats.versioned_ops for r in runs)
+    total_stalls = sum(r.stats.versioned_stalls for r in runs)
+    direct = sum(r.stats.direct_hits for r in runs)
+    full = sum(r.stats.full_lookups for r in runs)
+    return {
+        "runs": len(runs),
+        "total_cycles": sum(r.cycles for r in runs),
+        "versioned_ops": total_versioned,
+        "stall_rate": total_stalls / total_versioned if total_versioned else 0.0,
+        "direct_hit_rate": direct / (direct + full) if direct + full else 0.0,
+        "gc_phases": sum(r.stats.gc_phases for r in runs),
+        "versions_created": sum(r.stats.versions_created for r in runs),
+        "versions_reclaimed": sum(r.stats.gc_reclaimed for r in runs),
+    }

@@ -1,0 +1,164 @@
+"""Simulation configuration, defaulting to the paper's Table II platform.
+
+Table II (IPDPS 2018):
+
+==============  ======================================================
+Processor       2-way in-order (ARM ISA), 2 GHz
+L1 I/D cache    32 KB, 8-way associative, 64 B block, 4 cycles hit
+L2 cache        1.5 MB x #cores, shared, 16-way, 64 B block, 35 cycles
+Memory          64 GB, 60 ns latency
+==============  ======================================================
+
+At 2 GHz, 60 ns of DRAM latency is 120 cycles.  The O-structure specific
+knobs (free-list size, GC watermark, compression on/off, injected
+versioned-op latency) correspond to the design options evaluated in
+Sections III-IV of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+#: Cache block size used throughout the paper (bytes).
+BLOCK_SIZE = 64
+
+#: Size of one version block in bytes (Figure 3: 16-byte structure).
+VERSION_BLOCK_SIZE = 16
+
+#: Number of compressed version-block entries per 64-byte cache line.
+COMPRESSED_ENTRIES_PER_LINE = 8
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ConfigError(msg)
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and hit latency of one cache level."""
+
+    size_bytes: int
+    ways: int
+    block_bytes: int = BLOCK_SIZE
+    hit_latency: int = 4
+
+    def __post_init__(self) -> None:
+        _require(self.size_bytes > 0, "cache size must be positive")
+        _require(self.ways > 0, "cache associativity must be positive")
+        _require(_is_pow2(self.block_bytes), "block size must be a power of two")
+        _require(
+            self.size_bytes % (self.ways * self.block_bytes) == 0,
+            "cache size must be divisible by ways*block",
+        )
+        _require(self.hit_latency >= 0, "hit latency must be non-negative")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.block_bytes)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full platform description; defaults reproduce Table II."""
+
+    num_cores: int = 32
+    issue_width: int = 2
+    clock_ghz: float = 2.0
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=32 * 1024, ways=8, hit_latency=4)
+    )
+    #: L2 is 1.5 MB *per core*, shared; total size scales with core count.
+    l2_kib_per_core: int = 1536
+    l2_ways: int = 16
+    l2_hit_latency: int = 35
+    dram_latency_ns: float = 60.0
+
+    #: Latency penalty for a coherence invalidation / remote transfer.  The
+    #: paper notes LLC and cross-core transfers have comparable latency, so
+    #: this defaults to the L2 hit latency.
+    remote_penalty: int = 35
+
+    # --- O-structure knobs -------------------------------------------------
+    #: Extra cycles injected into every versioned operation (Figure 10).
+    versioned_op_extra_latency: int = 0
+    #: Store compressed version blocks in L1 (Section III-A).  Disabling it
+    #: forces every versioned access through a full list lookup (ablation).
+    compression_enabled: bool = True
+    #: Skip installing traversed blocks in the cache during full lookups
+    #: ("avoiding cache pollution", Section III-A).
+    pollution_avoidance: bool = True
+    #: Keep version-block lists sorted (newest first).  The no-sorting
+    #: configuration of Section IV-F appends instead.
+    sorted_version_lists: bool = True
+    #: Number of version blocks initially carved into the free list.
+    free_list_blocks: int = 1 << 16
+    #: GC triggers when free blocks drop below this watermark.
+    gc_watermark: int = 64
+    #: How many times the OS refill handler may grow the free list before
+    #: the simulator declares exhaustion.  ``None`` means unlimited.
+    free_list_refills: int | None = None
+    #: Blocks added per OS refill trap.
+    refill_blocks: int = 1 << 12
+
+    def __post_init__(self) -> None:
+        _require(self.num_cores > 0, "need at least one core")
+        _require(self.issue_width > 0, "issue width must be positive")
+        _require(self.clock_ghz > 0, "clock must be positive")
+        _require(self.l2_kib_per_core > 0, "L2 size must be positive")
+        _require(self.l2_ways > 0, "L2 associativity must be positive")
+        _require(self.l2_hit_latency >= 0, "L2 latency must be non-negative")
+        _require(self.dram_latency_ns > 0, "DRAM latency must be positive")
+        _require(self.remote_penalty >= 0, "remote penalty must be non-negative")
+        _require(
+            self.versioned_op_extra_latency >= 0,
+            "injected latency must be non-negative",
+        )
+        _require(self.free_list_blocks > 0, "free list must start non-empty")
+        _require(self.gc_watermark >= 0, "watermark must be non-negative")
+        _require(self.refill_blocks > 0, "refill size must be positive")
+
+    @property
+    def l2(self) -> CacheConfig:
+        """The shared L2 cache configuration (scales with core count)."""
+        return CacheConfig(
+            size_bytes=self.l2_kib_per_core * 1024 * self.num_cores,
+            ways=self.l2_ways,
+            hit_latency=self.l2_hit_latency,
+        )
+
+    @property
+    def dram_latency_cycles(self) -> int:
+        """DRAM latency converted to core cycles (60 ns @ 2 GHz = 120)."""
+        return round(self.dram_latency_ns * self.clock_ghz)
+
+    def with_cores(self, n: int) -> "MachineConfig":
+        """A copy of this configuration with ``n`` cores."""
+        return replace(self, num_cores=n)
+
+    def with_l1_kib(self, kib: int) -> "MachineConfig":
+        """A copy with a resized L1 (Figure 9 sweep)."""
+        return replace(
+            self,
+            l1=CacheConfig(
+                size_bytes=kib * 1024,
+                ways=self.l1.ways,
+                block_bytes=self.l1.block_bytes,
+                hit_latency=self.l1.hit_latency,
+            ),
+        )
+
+    def with_versioned_latency(self, cycles: int) -> "MachineConfig":
+        """A copy injecting ``cycles`` into every versioned op (Figure 10)."""
+        return replace(self, versioned_op_extra_latency=cycles)
+
+
+#: The paper's experimental platform (Table II), 32 cores.
+TABLE2 = MachineConfig()

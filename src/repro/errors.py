@@ -1,0 +1,70 @@
+"""Exception hierarchy for the O-structures reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch the whole family with one clause.  Faults that the paper describes as
+hardware traps (protection violations, double stores, free-list exhaustion
+reaching software) are modelled as dedicated exception types.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid simulator or experiment configuration values."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised while a simulation is running."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while tasks were still blocked.
+
+    Carries a human-readable description of each blocked core and the
+    operation it was waiting on, which makes programming-model bugs in
+    workloads (e.g. a ``LOAD-VERSION`` of a version nobody stores)
+    immediately diagnosable.
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        detail = "; ".join(blocked) if blocked else "unknown waiters"
+        super().__init__(f"simulation deadlocked: {detail}")
+
+
+class ProtectionFault(SimulationError):
+    """Modelled hardware protection trap (paper, Section III).
+
+    Raised when a conventional load/store touches a version-block page,
+    when an O-structure instruction touches a non-versioned page, or when
+    a version-block list is entered other than through its head block.
+    """
+
+
+class VersionExistsError(SimulationError):
+    """``STORE-VERSION`` targeted an already-created version.
+
+    The paper states a version, once created, can be locked but not
+    modified; re-creating it is a program error.
+    """
+
+
+class NotLockedError(SimulationError):
+    """``UNLOCK-VERSION`` targeted a version the task does not hold locked."""
+
+
+class FreeListExhausted(SimulationError):
+    """The hardware free-list ran dry and the OS refill handler also failed.
+
+    In the paper the hardware traps to software, which grows the free list;
+    the simulator mirrors that, and only raises this error when the
+    configured refill budget is exhausted.
+    """
+
+
+class AllocationError(SimulationError):
+    """The simulated heap cannot satisfy an allocation request."""

@@ -1,0 +1,33 @@
+"""Experiment harness: regenerates every table and figure of Section IV.
+
+- :mod:`repro.harness.presets` — workload scales (``quick`` default;
+  ``paper`` matches the published parameters),
+- :mod:`repro.harness.experiments` — one function per figure/table,
+- :mod:`repro.harness.report` — ASCII rendering of the paper-shaped rows.
+"""
+
+from .presets import PAPER, QUICK, Scale
+from .experiments import (
+    fig6_speedup,
+    fig7_scalability,
+    fig8_snapshot_isolation,
+    fig9_l1_size,
+    fig10_latency,
+    gc_overhead,
+    table2_platform,
+)
+from .report import format_table
+
+__all__ = [
+    "Scale",
+    "QUICK",
+    "PAPER",
+    "fig6_speedup",
+    "fig7_scalability",
+    "fig8_snapshot_isolation",
+    "fig9_l1_size",
+    "fig10_latency",
+    "gc_overhead",
+    "table2_platform",
+    "format_table",
+]

@@ -1,0 +1,415 @@
+"""One function per table/figure of the paper's evaluation (Section IV).
+
+Every function returns a plain dict with a ``rows`` list (the data the
+paper plots) plus a ``text`` rendering; the benchmark harness times the
+underlying simulations and prints the text.  Workload scale comes from a
+:class:`~repro.harness.presets.Scale`; the machine platform defaults to
+Table II.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import MachineConfig, TABLE2
+from ..workloads import binary_tree, hash_table, levenshtein, linked_list, matmul, rb_tree
+from ..workloads import rwlock_tree
+from ..workloads.base import WorkloadRun
+from ..workloads.opgen import (
+    OpMix,
+    READ_INTENSIVE,
+    SCAN,
+    WRITE_INTENSIVE,
+    generate_ops,
+    initial_keys,
+)
+from .presets import QUICK, Scale
+from .report import format_table
+
+#: Paper ordering of the Figure 6/7/9/10 benchmarks.
+IRREGULAR = ("linked_list", "binary_tree", "hash_table", "rb_tree")
+REGULAR = ("levenshtein", "matmul")
+ALL_BENCHMARKS = IRREGULAR + REGULAR
+
+_IRREGULAR_MODULES = {
+    "linked_list": linked_list,
+    "binary_tree": binary_tree,
+    "hash_table": hash_table,
+    "rb_tree": rb_tree,
+}
+_REGULAR_MODULES = {"levenshtein": levenshtein, "matmul": matmul}
+
+
+def _seed(scale: Scale, *parts: object) -> int:
+    """Deterministic seed from the experiment coordinates.
+
+    Uses crc32 rather than ``hash()`` — the latter is randomized per
+    process, which would make every pytest invocation run different
+    workloads.
+    """
+    import zlib
+
+    digest = zlib.crc32(repr(parts).encode())
+    return (scale.seed + digest) % (1 << 31)
+
+
+def _irregular_inputs(
+    scale: Scale, bench: str, size: str, mix: OpMix, n_ops: int | None = None
+) -> tuple[list[int], list[tuple[str, int, int]]]:
+    elements = scale.small_elements if size == "small" else scale.large_elements
+    seed = _seed(scale, bench, size, mix.name)
+    init = initial_keys(elements, elements * scale.key_space_factor, seed)
+    ops = generate_ops(
+        n_ops or scale.n_ops, mix, elements * scale.key_space_factor, seed
+    )
+    return init, ops
+
+
+def _run_irregular(
+    bench: str,
+    config: MachineConfig,
+    scale: Scale,
+    size: str,
+    mix: OpMix,
+    variant: str,
+    cores: int = 1,
+    n_ops: int | None = None,
+) -> WorkloadRun:
+    init, ops = _irregular_inputs(scale, bench, size, mix, n_ops)
+    mod = _IRREGULAR_MODULES[bench]
+    if variant == "unversioned":
+        return mod.run_unversioned(config, init, ops)
+    return mod.run_versioned(config, init, ops, cores)
+
+
+def _run_regular(
+    bench: str,
+    config: MachineConfig,
+    scale: Scale,
+    size: str,
+    variant: str,
+    cores: int = 1,
+) -> WorkloadRun:
+    if bench == "matmul":
+        n = scale.matmul_small if size == "small" else scale.matmul_large
+    else:
+        n = scale.lev_small if size == "small" else scale.lev_large
+    mod = _REGULAR_MODULES[bench]
+    if variant == "unversioned":
+        return mod.run_unversioned(config, n, seed=_seed(scale, bench, size))
+    return mod.run_versioned(config, n, cores, seed=_seed(scale, bench, size))
+
+
+# ---------------------------------------------------------------------------
+# Table II
+# ---------------------------------------------------------------------------
+
+
+def table2_platform(config: MachineConfig = TABLE2) -> dict:
+    """Render the platform and verify the configured latencies end-to-end."""
+    from ..sim.hierarchy import MemoryHierarchy
+    from ..sim.stats import SimStats
+
+    h = MemoryHierarchy(config, SimStats())
+    cold = h.access(0, 0x10000)
+    l1_hit = h.access(0, 0x10000)
+    h2 = MemoryHierarchy(config, SimStats())
+    h2.access(0, 0x10000)
+    l2_hit = h2.access(1 % config.num_cores, 0x10000)
+
+    rows = [
+        ("Processor", f"{config.issue_width}-way in-order, {config.clock_ghz} GHz"),
+        ("L1 I/D", f"{config.l1.size_bytes // 1024} KB, {config.l1.ways}-way, "
+                   f"64 B block, {config.l1.hit_latency} cycles"),
+        ("L2", f"{config.l2_kib_per_core} KB x {config.num_cores} cores, shared, "
+               f"{config.l2_ways}-way, {config.l2_hit_latency} cycles"),
+        ("Memory", f"{config.dram_latency_ns} ns = {config.dram_latency_cycles} cycles"),
+        ("measured: L1 hit", f"{l1_hit} cycles"),
+        ("measured: L2 hit (remote fill)", f"{l2_hit} cycles"),
+        ("measured: cold miss", f"{cold} cycles"),
+    ]
+    return {
+        "rows": rows,
+        "checks": {
+            "l1_hit": l1_hit == config.l1.hit_latency,
+            "l2_hit": l2_hit == config.l1.hit_latency + config.l2_hit_latency,
+            "cold": cold
+            == config.l1.hit_latency + config.l2_hit_latency + config.dram_latency_cycles,
+        },
+        "text": format_table(("Parameter", "Value"), rows, title="Table II platform"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: speedup of parallel versioned over sequential unversioned
+# ---------------------------------------------------------------------------
+
+
+def fig6_speedup(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
+    """Speedup of parallel versioned (max cores) over sequential unversioned.
+
+    Small/large sizes x read-intensive (4R-1W) / write-intensive (1R-1W)
+    for the four irregular structures; small/large problem sizes for
+    Levenshtein and matmul.
+    """
+    cores = scale.max_cores
+    rows = []
+    for bench in IRREGULAR:
+        for size in ("small", "large"):
+            for mix in (READ_INTENSIVE, WRITE_INTENSIVE):
+                u = _run_irregular(bench, config, scale, size, mix, "unversioned")
+                v = _run_irregular(bench, config, scale, size, mix, "versioned", cores)
+                rows.append((bench, size, mix.name, u.cycles / v.cycles))
+    for bench in REGULAR:
+        for size in ("small", "large"):
+            u = _run_regular(bench, config, scale, size, "unversioned")
+            v = _run_regular(bench, config, scale, size, "versioned", cores)
+            rows.append((bench, size, "-", u.cycles / v.cycles))
+    from .report import format_bars
+
+    bars = format_bars(
+        f"Figure 6 (bars; | marks break-even)",
+        [(f"{b}/{s}/{m}", sp) for b, s, m, sp in rows],
+    )
+    return {
+        "rows": rows,
+        "text": format_table(
+            ("benchmark", "size", "mix", f"speedup@{cores}c"),
+            rows,
+            title=f"Figure 6: parallel versioned ({cores} cores) vs sequential "
+                  f"unversioned [{scale.name}]",
+        ) + "\n\n" + bars,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: scalability (speedup over sequential versioned)
+# ---------------------------------------------------------------------------
+
+
+def fig7_scalability(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
+    """Self-speedup of versioned runs, large read-intensive inputs."""
+    rows = []
+    series: dict[str, list[float]] = {}
+    for bench in ALL_BENCHMARKS:
+        if bench in IRREGULAR:
+            base = _run_irregular(bench, config, scale, "large", READ_INTENSIVE,
+                                  "versioned", 1)
+            runner: Callable[[int], WorkloadRun] = lambda c, b=bench: _run_irregular(
+                b, config, scale, "large", READ_INTENSIVE, "versioned", c
+            )
+        else:
+            base = _run_regular(bench, config, scale, "large", "versioned", 1)
+            runner = lambda c, b=bench: _run_regular(
+                b, config, scale, "large", "versioned", c
+            )
+        speedups = []
+        for cores in scale.core_counts:
+            run = runner(cores)
+            speedups.append(base.cycles / run.cycles)
+            rows.append((bench, cores, base.cycles / run.cycles))
+        series[bench] = speedups
+    from .report import format_series
+
+    return {
+        "rows": rows,
+        "series": series,
+        "cores": list(scale.core_counts),
+        "text": format_series(
+            f"Figure 7: scalability over sequential versioned [{scale.name}]",
+            "cores",
+            list(scale.core_counts),
+            series,
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: snapshot isolation vs read-write lock
+# ---------------------------------------------------------------------------
+
+
+def fig8_snapshot_isolation(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
+    """Versioned binary tree vs rwlock tree; 3:1 scan:insert, 3 scan ranges."""
+    mix = OpMix(reads=3, writes=1, name="3S-1W")
+    rows = []
+    ratios: dict[str, list[float]] = {}
+    self_speedups = {"versioned": [], "rwlock": []}
+    for scan_range in (1, 8, 64):
+        seed = _seed(scale, "fig8", scan_range)
+        init = initial_keys(
+            scale.fig8_elements, scale.fig8_elements * scale.key_space_factor, seed
+        )
+        ops = generate_ops(
+            scale.fig8_ops, mix, scale.fig8_elements * scale.key_space_factor,
+            seed, read_op=SCAN, scan_range=scan_range,
+        )
+        # Figure 8 measures scans and inserts only.
+        ops = [(op if op != "delete" else "insert", k, e) for op, k, e in ops]
+        v1 = binary_tree.run_versioned(config, init, ops, 1)
+        r1 = rwlock_tree.run_rwlock(config, init, ops, 1)
+        ratio_series = []
+        for cores in scale.core_counts:
+            v = binary_tree.run_versioned(config, init, ops, cores)
+            r = rwlock_tree.run_rwlock(config, init, ops, cores)
+            ratio = r.cycles / v.cycles
+            ratio_series.append(ratio)
+            rows.append((scan_range, cores, ratio))
+            if cores == scale.core_counts[-1]:
+                self_speedups["versioned"].append(v1.cycles / v.cycles)
+                self_speedups["rwlock"].append(r1.cycles / r.cycles)
+        ratios[f"scan-{scan_range}"] = ratio_series
+
+    avg_v = sum(self_speedups["versioned"]) / len(self_speedups["versioned"])
+    avg_r = sum(self_speedups["rwlock"]) / len(self_speedups["rwlock"])
+    from .report import format_series
+
+    text = format_series(
+        f"Figure 8: versioned tree / rwlock tree performance ratio [{scale.name}] "
+        f"(>1 means versioned faster)",
+        "cores",
+        list(scale.core_counts),
+        ratios,
+    )
+    text += (
+        f"\nAvg self-speedup at {scale.core_counts[-1]} cores: "
+        f"versioned = {avg_v:.1f}, rwlock = {avg_r:.1f}"
+    )
+    return {
+        "rows": rows,
+        "series": ratios,
+        "self_speedup_versioned": avg_v,
+        "self_speedup_rwlock": avg_r,
+        "text": text,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: L1 size sensitivity
+# ---------------------------------------------------------------------------
+
+_FIG9_BASELINE_KIB = 32
+
+
+def fig9_l1_size(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
+    """Relative speedup vs the 32 KB L1 baseline for U / 1T / NT runs."""
+    sizes = sorted(set(scale.l1_sizes_kib) | {_FIG9_BASELINE_KIB})
+    cores = scale.max_cores
+    variants = ("U", "1T", f"{cores}T")
+    rows = []
+
+    def run(bench: str, variant: str, kib: int) -> WorkloadRun:
+        cfg = config.with_l1_kib(kib)
+        if bench in IRREGULAR:
+            if variant == "U":
+                return _run_irregular(bench, cfg, scale, "large", READ_INTENSIVE,
+                                      "unversioned", n_ops=scale.sens_ops)
+            c = 1 if variant == "1T" else cores
+            return _run_irregular(bench, cfg, scale, "large", READ_INTENSIVE,
+                                  "versioned", c, n_ops=scale.sens_ops)
+        if variant == "U":
+            return _run_regular(bench, cfg, scale, "large", "unversioned")
+        c = 1 if variant == "1T" else cores
+        return _run_regular(bench, cfg, scale, "large", "versioned", c)
+
+    for bench in ALL_BENCHMARKS:
+        for variant in variants:
+            baseline = run(bench, variant, _FIG9_BASELINE_KIB)
+            for kib in sizes:
+                if kib == _FIG9_BASELINE_KIB:
+                    rel = 0.0
+                else:
+                    r = run(bench, variant, kib)
+                    rel = baseline.cycles / r.cycles - 1.0
+                rows.append((bench, variant, kib, rel))
+    return {
+        "rows": rows,
+        "text": format_table(
+            ("benchmark", "variant", "L1 KiB", "speedup vs 32KB"),
+            rows,
+            title=f"Figure 9: L1 size sensitivity [{scale.name}]",
+            floatfmt="{:+.3f}",
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: injected versioned-op latency
+# ---------------------------------------------------------------------------
+
+
+def fig10_latency(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
+    """Slowdown from +2..+10 cycles per versioned operation (1T and NT)."""
+    cores = scale.max_cores
+    rows = []
+
+    def run(bench: str, c: int, extra: int) -> WorkloadRun:
+        cfg = config.with_versioned_latency(extra)
+        if bench in IRREGULAR:
+            return _run_irregular(bench, cfg, scale, "large", READ_INTENSIVE,
+                                  "versioned", c, n_ops=scale.sens_ops)
+        return _run_regular(bench, cfg, scale, "large", "versioned", c)
+
+    for bench in ALL_BENCHMARKS:
+        for c, tag in ((1, "1T"), (cores, f"{cores}T")):
+            base = run(bench, c, 0)
+            for extra in scale.latencies:
+                r = run(bench, c, extra)
+                rows.append((bench, tag, extra, base.cycles / r.cycles - 1.0))
+    return {
+        "rows": rows,
+        "text": format_table(
+            ("benchmark", "variant", "+cycles", "speedup vs no overhead"),
+            rows,
+            title=f"Figure 10: versioned-op latency sensitivity [{scale.name}]",
+            floatfmt="{:+.3f}",
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Section IV-F: garbage collection overhead
+# ---------------------------------------------------------------------------
+
+
+def gc_overhead(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
+    """Sequential list workload under tight / ample / no-sorting configs.
+
+    The paper: a tight configuration triggering 135 GC phases was 0.1%
+    slower than one with enough free blocks to never collect, which was
+    itself 0.1% slower than a no-version-sorting configuration.
+    """
+    import dataclasses
+
+    seed = _seed(scale, "gc")
+    init = initial_keys(scale.gc_list_elements, scale.gc_list_elements * 8, seed)
+    ops = generate_ops(scale.gc_ops, WRITE_INTENSIVE, scale.gc_list_elements * 8, seed)
+
+    def run_with(**kw) -> WorkloadRun:
+        cfg = dataclasses.replace(config, num_cores=1, **kw)
+        return linked_list.run_versioned(cfg, init, ops, 1)
+
+    tight = run_with(free_list_blocks=96, gc_watermark=64)
+    ample = run_with(free_list_blocks=1 << 17, gc_watermark=8)
+    nosort = run_with(free_list_blocks=1 << 17, gc_watermark=8,
+                      sorted_version_lists=False)
+
+    rows = [
+        ("tight (GC active)", tight.cycles, tight.stats.gc_phases,
+         tight.stats.gc_reclaimed, tight.cycles / ample.cycles - 1.0),
+        ("ample (no GC)", ample.cycles, ample.stats.gc_phases,
+         ample.stats.gc_reclaimed, 0.0),
+        ("no sorting", nosort.cycles, nosort.stats.gc_phases,
+         nosort.stats.gc_reclaimed, nosort.cycles / ample.cycles - 1.0),
+    ]
+    return {
+        "rows": rows,
+        "tight_phases": tight.stats.gc_phases,
+        "overhead": tight.cycles / ample.cycles - 1.0,
+        "text": format_table(
+            ("config", "cycles", "GC phases", "reclaimed", "vs ample"),
+            rows,
+            title=f"Section IV-F: GC overhead [{scale.name}]",
+            floatfmt="{:+.4f}",
+        ),
+    }

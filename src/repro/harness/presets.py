@@ -1,0 +1,95 @@
+"""Workload scales for the experiment harness.
+
+``PAPER`` matches the published parameters (Section IV): initial sizes
+1000/10000, 100x100 matrices, strings of 1000, Figure 8 tree of 10000.
+Those sizes take hours on a pure-Python event simulator (the authors made
+the same concession — footnote 4 shrinks matmul "due to the complexity of
+the algorithm... larger workloads could not be simulated in reasonable
+time").  ``QUICK`` (the default everywhere) keeps every *shape* — the
+size ratio small:large, the read:write mixes, the scan ranges — at
+simulation-friendly magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All knobs the experiments read."""
+
+    name: str
+    #: Initial element counts for the irregular structures (Figure 6).
+    small_elements: int
+    large_elements: int
+    #: Operations per irregular run.
+    n_ops: int
+    #: Operations for the Figure 9/10 sensitivity sweeps (smaller: the
+    #: sweeps multiply runs by sizes x variants).
+    sens_ops: int
+    #: Matrix dimension (paper: 100) — small/large for Figure 6.
+    matmul_small: int
+    matmul_large: int
+    #: String length (paper: 1000).
+    lev_small: int
+    lev_large: int
+    #: Figure 8: initial tree size, op count, scan:insert ratio 3:1.
+    fig8_elements: int
+    fig8_ops: int
+    #: Key space multiplier (key space = elements * this).
+    key_space_factor: int = 4
+    #: Core counts for the scalability figures.
+    core_counts: tuple[int, ...] = (4, 8, 16, 32)
+    #: Default "many cores" point (the paper's 32).
+    max_cores: int = 32
+    #: L1 sizes for Figure 9 (KiB; 32 is the Table II baseline).
+    l1_sizes_kib: tuple[int, ...] = (8, 16, 32, 64, 128)
+    #: Injected latencies for Figure 10 (cycles).
+    latencies: tuple[int, ...] = (2, 4, 6, 8, 10)
+    #: Section IV-F: list size and op count for the GC microbenchmark.
+    gc_list_elements: int = 10
+    gc_ops: int = 1000
+    #: RNG seed base.
+    seed: int = 20180523  # the paper's conference date
+
+
+QUICK = Scale(
+    name="quick",
+    small_elements=150,
+    large_elements=600,
+    n_ops=192,
+    sens_ops=96,
+    matmul_small=10,
+    matmul_large=20,
+    lev_small=24,
+    lev_large=56,
+    fig8_elements=600,
+    fig8_ops=160,
+    l1_sizes_kib=(8, 32, 128),
+    latencies=(2, 6, 10),
+    gc_ops=400,
+)
+
+PAPER = Scale(
+    name="paper",
+    small_elements=1000,
+    large_elements=10000,
+    n_ops=1024,
+    sens_ops=512,
+    matmul_small=48,
+    matmul_large=100,
+    lev_small=400,
+    lev_large=1000,
+    fig8_elements=10000,
+    fig8_ops=1024,
+    gc_ops=1000,
+)
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a preset by name (``quick`` or ``paper``)."""
+    scales = {"quick": QUICK, "paper": PAPER}
+    if name not in scales:
+        raise KeyError(f"unknown scale {name!r}; choose from {sorted(scales)}")
+    return scales[name]

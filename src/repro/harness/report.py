@@ -1,0 +1,82 @@
+"""ASCII rendering of experiment results (the benches print these)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Render a plain-text table with right-aligned numeric columns."""
+
+    def cell(x: Any) -> str:
+        if isinstance(x, float):
+            return floatfmt.format(x)
+        return str(x)
+
+    str_rows = [[cell(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, s in enumerate(row):
+            widths[i] = max(widths[i], len(s))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(s.rjust(w) for s, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, x_label: str, xs: Sequence[Any], series: dict[str, Sequence[float]]
+) -> str:
+    """Render one-line-per-series data (the figure 'curves') as a table."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def format_bars(
+    title: str,
+    rows: "Iterable[tuple[str, float]]",
+    *,
+    width: int = 40,
+    marker: str = "#",
+    reference: float | None = 1.0,
+) -> str:
+    """Render labelled horizontal bars (the text rendition of a figure).
+
+    ``reference`` draws a ``|`` at that value (e.g. speedup 1.0) so
+    above/below-baseline is visible at a glance.
+    """
+    rows = list(rows)
+    if not rows:
+        return title
+    peak = max(value for _, value in rows)
+    if reference is not None:
+        peak = max(peak, reference)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(label) for label, _ in rows)
+    scale = width / peak
+    ref_col = round(reference * scale) if reference is not None else -1
+    lines = [title, "=" * len(title)]
+    for label, value in rows:
+        n = round(value * scale)
+        bar = list(marker * n + " " * (width - n))
+        if 0 <= ref_col < len(bar) and bar[ref_col] == " ":
+            bar[ref_col] = "|"
+        lines.append(f"{label.rjust(label_w)}  {''.join(bar)} {value:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""O-structure microarchitecture (the paper's primary contribution).
+
+Implements Section II semantics and the Section III microarchitecture:
+
+- :mod:`repro.ostruct.isa` — the seven versioned-memory operations plus
+  TASK-BEGIN/TASK-END, as micro-op constructors for task programs.
+- :mod:`repro.ostruct.version_block` — 16-byte version blocks and sorted
+  per-address version-block lists.
+- :mod:`repro.ostruct.free_list` — hardware-managed free list with OS
+  refill traps and the GC watermark.
+- :mod:`repro.ostruct.compression` — bit-exact compressed version-block
+  cache lines (18-bit base, 8 entries of data + 14-bit offsets).
+- :mod:`repro.ostruct.page_table` — version-block page bit and protection
+  faults.
+- :mod:`repro.ostruct.manager` — the O-structure Manager: direct and full
+  lookup, locking, waiter queues, insertion protocol.
+- :mod:`repro.ostruct.gc` — the shadowed/pending-list garbage collector.
+"""
+
+from .isa import (
+    LOAD_VERSION,
+    LOAD_LATEST,
+    STORE_VERSION,
+    LOCK_LOAD_VERSION,
+    LOCK_LOAD_LATEST,
+    UNLOCK_VERSION,
+)
+from .version_block import VersionBlock, VersionList
+from .free_list import FreeList
+from .compression import CompressedLine, VERSION_OFFSET_BITS, VERSION_BASE_BITS
+from .page_table import PageTable, PAGE_SIZE
+from .manager import OStructureManager, StallSignal
+from .gc import GarbageCollector
+
+__all__ = [
+    "LOAD_VERSION",
+    "LOAD_LATEST",
+    "STORE_VERSION",
+    "LOCK_LOAD_VERSION",
+    "LOCK_LOAD_LATEST",
+    "UNLOCK_VERSION",
+    "VersionBlock",
+    "VersionList",
+    "FreeList",
+    "CompressedLine",
+    "VERSION_OFFSET_BITS",
+    "VERSION_BASE_BITS",
+    "PageTable",
+    "PAGE_SIZE",
+    "OStructureManager",
+    "StallSignal",
+    "GarbageCollector",
+]

@@ -1,0 +1,232 @@
+"""Compressed version-block cache lines (Section III-A, Figure 3).
+
+Eight version blocks compress into one 64-byte cache line:
+
+- an 18-bit **version base** — the upper 18 bits of the lowest version in
+  the line;
+- a 4-bit **cache-line offset** — the offset of the list head within its
+  64-byte line, when cached;
+- eight entries of 60 bits each: 32-bit data, 14-bit version offset and
+  14-bit lock offset relative to ``base << 14``.
+
+Total: 18 + 4 + 8*60 = 502 bits <= 512.  The only restriction compression
+imposes is on the *range* of versions and lockers within one line: all must
+fall within ``[base << 14, (base << 14) + 2**14)``.
+
+This module provides both the behavioural representation the O-structure
+manager uses (:class:`CompressedLine`: up to 8 entries with internal LRU
+and the range restriction) and a bit-exact :meth:`CompressedLine.encode` /
+:meth:`CompressedLine.decode` pair that packs the line into a 512-bit
+integer, demonstrating the layout actually fits.
+
+Encoding conventions (the paper leaves these to the implementation):
+offset ``0x3FFF`` in the version-offset field marks an invalid (empty)
+entry, and ``0x3FFF`` in the lock-offset field means "unlocked"; both
+sentinels shrink the representable offset range to ``[0, 2**14 - 2]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..errors import SimulationError
+
+VERSION_BASE_BITS = 18
+LINE_OFFSET_BITS = 4
+VERSION_OFFSET_BITS = 14
+LOCK_OFFSET_BITS = 14
+DATA_BITS = 32
+ENTRIES_PER_LINE = 8
+ENTRY_BITS = DATA_BITS + VERSION_OFFSET_BITS + LOCK_OFFSET_BITS  # 60
+LINE_BITS = VERSION_BASE_BITS + LINE_OFFSET_BITS + ENTRIES_PER_LINE * ENTRY_BITS
+
+#: Sentinel offsets (see module docstring).
+INVALID_OFFSET = (1 << VERSION_OFFSET_BITS) - 1
+UNLOCKED_OFFSET = (1 << LOCK_OFFSET_BITS) - 1
+
+#: Largest offset a valid entry may carry.
+MAX_OFFSET = INVALID_OFFSET - 1
+
+#: Window size covered by one base value.
+RANGE = 1 << VERSION_OFFSET_BITS
+
+
+class CompressedLine:
+    """Behavioural model of one compressed version-block line.
+
+    Holds up to :data:`ENTRIES_PER_LINE` ``version -> (value, locked_by)``
+    entries subject to the base-range restriction.  ``value`` must fit the
+    32-bit data field for :meth:`encode`; the behavioural model accepts any
+    value (the manager stores simulated pointers, which fit).
+    """
+
+    __slots__ = ("base", "line_offset", "_entries", "_lru", "_tick")
+
+    def __init__(self, line_offset: int = 0):
+        if not 0 <= line_offset < (1 << LINE_OFFSET_BITS):
+            raise SimulationError("line offset must fit 4 bits")
+        self.base = 0
+        self.line_offset = line_offset
+        self._entries: dict[int, tuple[Any, int | None]] = {}
+        self._lru: dict[int, int] = {}
+        self._tick = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, version: int) -> bool:
+        return version in self._entries
+
+    def versions(self) -> list[int]:
+        return sorted(self._entries)
+
+    @property
+    def window_start(self) -> int:
+        return self.base << VERSION_OFFSET_BITS
+
+    def _fits_window(self, versions: Iterable[int], lockers: Iterable[int]) -> bool:
+        vals = list(versions) + list(lockers)
+        if not vals:
+            return True
+        lo, hi = min(vals), max(vals)
+        # The base is the *upper 18 bits* of the lowest value, so offsets
+        # are relative to the quantized window start, not to the minimum.
+        window_start = (lo >> VERSION_OFFSET_BITS) << VERSION_OFFSET_BITS
+        return hi - window_start <= MAX_OFFSET and (lo >> VERSION_OFFSET_BITS) < (
+            1 << VERSION_BASE_BITS
+        )
+
+    def _rebase(self) -> None:
+        """Recompute base from the lowest version/locker present."""
+        vals = list(self._entries)
+        for _, locked_by in self._entries.values():
+            if locked_by is not None:
+                vals.append(locked_by)
+        if vals:
+            self.base = min(vals) >> VERSION_OFFSET_BITS
+            lo = self.base << VERSION_OFFSET_BITS
+            # The base's window must still reach the highest offset.
+            if max(vals) - lo > MAX_OFFSET:
+                raise SimulationError("rebase failed: window overflow")
+
+    def get(self, version: int) -> tuple[Any, int | None] | None:
+        """Direct-access hit check; refreshes internal LRU on a hit."""
+        e = self._entries.get(version)
+        if e is not None:
+            self._tick += 1
+            self._lru[version] = self._tick
+        return e
+
+    def put(self, version: int, value: Any, locked_by: int | None) -> bool:
+        """Insert or update an entry; returns False if it cannot be cached.
+
+        Evicts least-recently-used entries when the line is full or when
+        the new entry cannot share a window with the residents.  An entry
+        whose own version/locker pair does not fit any window (locker more
+        than ``MAX_OFFSET`` away from the version) is rejected outright.
+        """
+        own = [version] + ([locked_by] if locked_by is not None else [])
+        if not self._fits_window(own, []):
+            return False
+
+        if version in self._entries:
+            self._entries[version] = (value, locked_by)
+            # A new lock value may break the window; evict others if needed.
+            self._evict_until_fits(keep=version)
+            self._tick += 1
+            self._lru[version] = self._tick
+            self._rebase()
+            return True
+
+        while len(self._entries) >= ENTRIES_PER_LINE:
+            self._evict_lru()
+        self._entries[version] = (value, locked_by)
+        self._tick += 1
+        self._lru[version] = self._tick
+        self._evict_until_fits(keep=version)
+        self._rebase()
+        return True
+
+    def _window_values(self) -> list[int]:
+        vals = list(self._entries)
+        for _, locked_by in self._entries.values():
+            if locked_by is not None:
+                vals.append(locked_by)
+        return vals
+
+    def _evict_until_fits(self, keep: int) -> None:
+        while not self._fits_window(self._window_values(), []):
+            victims = [v for v in self._entries if v != keep]
+            if not victims:  # pragma: no cover - guarded by put()'s own check
+                raise SimulationError("single entry cannot fit its own window")
+            victim = min(victims, key=lambda v: self._lru[v])
+            del self._entries[victim]
+            del self._lru[victim]
+
+    def _evict_lru(self) -> None:
+        victim = min(self._lru, key=self._lru.__getitem__)
+        del self._entries[victim]
+        del self._lru[victim]
+
+    def drop(self, version: int) -> None:
+        """Remove one entry (e.g. its version block was reclaimed)."""
+        self._entries.pop(version, None)
+        self._lru.pop(version, None)
+        if self._entries:
+            self._rebase()
+
+    # -- bit-exact packing ----------------------------------------------------
+
+    def encode(self) -> int:
+        """Pack into a 512-bit line image (an int), Figure 3 layout.
+
+        Layout, LSB first: base (18) | line offset (4) | entry0 .. entry7,
+        each data (32) | version offset (14) | lock offset (14).  Empty
+        slots carry the invalid sentinel.  Values must fit 32 bits.
+        """
+        self._rebase()
+        lo = self.window_start
+        word = self.base | (self.line_offset << VERSION_BASE_BITS)
+        shift = VERSION_BASE_BITS + LINE_OFFSET_BITS
+        slots = sorted(self._entries.items())[:ENTRIES_PER_LINE]
+        for i in range(ENTRIES_PER_LINE):
+            if i < len(slots):
+                version, (value, locked_by) = slots[i]
+                if not isinstance(value, int) or not 0 <= value < (1 << DATA_BITS):
+                    raise SimulationError(
+                        f"value {value!r} does not fit the 32-bit data field"
+                    )
+                voff = version - lo
+                loff = UNLOCKED_OFFSET if locked_by is None else locked_by - lo
+                if not 0 <= voff <= MAX_OFFSET or not 0 <= loff <= UNLOCKED_OFFSET:
+                    raise SimulationError("offset outside compressed window")
+            else:
+                value, voff, loff = 0, INVALID_OFFSET, UNLOCKED_OFFSET
+            entry = value | (voff << DATA_BITS) | (
+                loff << (DATA_BITS + VERSION_OFFSET_BITS)
+            )
+            word |= entry << shift
+            shift += ENTRY_BITS
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "CompressedLine":
+        """Inverse of :meth:`encode`."""
+        mask = lambda bits: (1 << bits) - 1  # noqa: E731
+        line = cls(line_offset=(word >> VERSION_BASE_BITS) & mask(LINE_OFFSET_BITS))
+        line.base = word & mask(VERSION_BASE_BITS)
+        lo = line.base << VERSION_OFFSET_BITS
+        shift = VERSION_BASE_BITS + LINE_OFFSET_BITS
+        for _ in range(ENTRIES_PER_LINE):
+            entry = (word >> shift) & mask(ENTRY_BITS)
+            shift += ENTRY_BITS
+            value = entry & mask(DATA_BITS)
+            voff = (entry >> DATA_BITS) & mask(VERSION_OFFSET_BITS)
+            loff = (entry >> (DATA_BITS + VERSION_OFFSET_BITS)) & mask(LOCK_OFFSET_BITS)
+            if voff == INVALID_OFFSET:
+                continue
+            locked_by = None if loff == UNLOCKED_OFFSET else lo + loff
+            line._entries[lo + voff] = (value, locked_by)
+            line._tick += 1
+            line._lru[lo + voff] = line._tick
+        return line

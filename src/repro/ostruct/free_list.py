@@ -1,0 +1,82 @@
+"""The hardware-managed free list of version blocks (Section III).
+
+Unused version blocks live on a free list.  Allocation pops a block's
+physical address; when the count drops below the GC watermark the manager
+triggers a collection phase, and when the list is completely empty the
+hardware traps to the OS, which carves more memory into version blocks
+(``refill_blocks`` at a time) after updating the page table.  The refill
+budget can be bounded to make exhaustion testable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..config import VERSION_BLOCK_SIZE
+from ..errors import FreeListExhausted
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.stats import SimStats
+
+#: Cycles charged for the OS trap that refills the free list.
+REFILL_TRAP_CYCLES = 500
+
+
+class FreeList:
+    """Stack of free version-block physical addresses."""
+
+    def __init__(
+        self,
+        *,
+        base_paddr: int,
+        initial_blocks: int,
+        refill_blocks: int,
+        max_refills: int | None,
+        stats: "SimStats",
+        on_refill_page: Callable[[int, int], None] | None = None,
+    ):
+        """``on_refill_page(start_paddr, nbytes)`` lets the page table mark
+        newly carved regions as version-block pages."""
+        self._stats = stats
+        self._free: list[int] = []
+        self._bump = base_paddr
+        self._refill_blocks = refill_blocks
+        self._refills_left = max_refills
+        self._on_refill_page = on_refill_page
+        self._carve(initial_blocks, count_refill=False)
+
+    def _carve(self, nblocks: int, count_refill: bool) -> None:
+        start = self._bump
+        for _ in range(nblocks):
+            self._free.append(self._bump)
+            self._bump += VERSION_BLOCK_SIZE
+        if self._on_refill_page is not None:
+            self._on_refill_page(start, nblocks * VERSION_BLOCK_SIZE)
+        if count_refill:
+            self._stats.free_list_refills += 1
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def allocate(self) -> tuple[int, int]:
+        """Pop one free block.
+
+        Returns ``(paddr, extra_latency)``; the latency is non-zero only
+        when the OS refill trap fired.  Raises :class:`FreeListExhausted`
+        once the refill budget is spent.
+        """
+        if not self._free:
+            if self._refills_left is not None and self._refills_left <= 0:
+                raise FreeListExhausted(
+                    "version-block free list empty and refill budget exhausted"
+                )
+            if self._refills_left is not None:
+                self._refills_left -= 1
+            self._carve(self._refill_blocks, count_refill=True)
+            return self._free.pop(), REFILL_TRAP_CYCLES
+        return self._free.pop(), 0
+
+    def release(self, paddr: int) -> None:
+        """Return a reclaimed block to the free list."""
+        self._free.append(paddr)

@@ -1,0 +1,148 @@
+"""Hardware garbage collection of version blocks (Section III-B).
+
+A version becomes *shadowed* once a younger (higher-id) version of the
+same location is created.  The collector keeps two lists:
+
+- the **shadowed list**: blocks that may still be read by active tasks but
+  will become dead at some future point;
+- the **pending list**: a snapshot of the shadowed list taken when a
+  collection phase begins.
+
+When a phase starts, the shadowed list moves to the pending list and the
+*youngest* (highest-id) active task ``Y`` is recorded.  Once the *oldest*
+(lowest-id) active task is younger than ``Y``, every pending block is
+unreachable — rule 1 means any reader of a shadowed version has an id
+below the shadowing version (created by a task <= Y), and rule 3 forbids
+spawning tasks below the lowest active id — so the pending list drains to
+the free list.  Phases are triggered by the free-list watermark.
+
+Newly shadowed versions registered during a phase go to the shadowed list
+as usual and wait for the next phase; that is exactly what makes the
+collection on-the-fly rather than stop-the-world.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from .version_block import VersionBlock, VersionList
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.task import TaskTracker
+    from ..sim.hierarchy import MemoryHierarchy
+    from ..sim.stats import SimStats
+    from .free_list import FreeList
+
+
+class GarbageCollector:
+    """Shadowed/pending-list collector over the version-block store."""
+
+    def __init__(
+        self,
+        *,
+        free_list: "FreeList",
+        tracker: "TaskTracker",
+        hierarchy: "MemoryHierarchy",
+        stats: "SimStats",
+        watermark: int,
+        enabled: bool = True,
+    ):
+        self.free_list = free_list
+        self.tracker = tracker
+        self.hierarchy = hierarchy
+        self.stats = stats
+        self.watermark = watermark
+        self.enabled = enabled
+        self._shadowed: list[tuple[VersionBlock, VersionList]] = []
+        self._pending: list[tuple[VersionBlock, VersionList]] = []
+        self._phase_active = False
+        self._recorded_youngest: int = -1
+        #: Callbacks ``fn(vaddr, version)`` fired when a version is
+        #: reclaimed (the manager drops compressed-line entries).
+        self.reclaim_hooks: list[Callable[[int, int], None]] = []
+        tracker.on_end.append(self._on_task_end)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def shadowed_count(self) -> int:
+        return len(self._shadowed)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def phase_active(self) -> bool:
+        return self._phase_active
+
+    def register_shadowed(self, block: VersionBlock, vlist: VersionList) -> None:
+        """Record that ``block`` is now shadowed by a younger version."""
+        if block.shadowed:
+            return
+        block.shadowed = True
+        self._shadowed.append((block, vlist))
+        self.stats.shadowed_registered += 1
+
+    # -- phases ---------------------------------------------------------------
+
+    def maybe_trigger(self) -> None:
+        """Watermark check; called by the manager on every allocation."""
+        if (
+            self.enabled
+            and not self._phase_active
+            and self._shadowed
+            and self.free_list.free_count < self.watermark
+        ):
+            self.start_phase()
+
+    def start_phase(self) -> None:
+        """Begin a collection phase (hardware- or software-invoked)."""
+        if self._phase_active or not self._shadowed:
+            return
+        self._phase_active = True
+        self._pending = self._shadowed
+        self._shadowed = []
+        youngest = self.tracker.highest_active()
+        # With no active tasks, bound by the highest id ever begun: any
+        # already-shadowed version was shadowed by a task at or below it.
+        self._recorded_youngest = (
+            youngest if youngest is not None else self.tracker.max_seen
+        )
+        self.stats.gc_phases += 1
+        self._try_finalize()
+
+    def _on_task_end(self, task_id: int) -> None:
+        if self._phase_active:
+            self._try_finalize()
+
+    def _try_finalize(self) -> None:
+        oldest = self.tracker.lowest_active()
+        if oldest is not None and oldest <= self._recorded_youngest:
+            return
+        self._finalize()
+
+    def _finalize(self) -> None:
+        """Drain the pending list into the free list."""
+        kept: list[tuple[VersionBlock, VersionList]] = []
+        for block, vlist in self._pending:
+            # Defensive checks: a locked block or a list head (the current
+            # latest version) is never reclaimed; it returns to the
+            # shadowed list and waits for a later phase.
+            if block.locked or vlist.head is block:
+                kept.append((block, vlist))
+                continue
+            vlist.remove(block)
+            self.free_list.release(block.paddr)
+            # The dead block's cache lines are left alone: they may also
+            # hold live version blocks (4 per 64 B line), and a stale dead
+            # block is harmless — coherence handles the line when the
+            # free-list reuses the address.
+            for hook in self.reclaim_hooks:
+                hook(vlist.vaddr, block.version)
+            self.stats.gc_reclaimed += 1
+        self._pending = []
+        for item in kept:
+            item[0].shadowed = True
+            self._shadowed.append(item)
+        self._phase_active = False

@@ -1,0 +1,123 @@
+"""The versioned-memory instruction set (paper, Section II-A).
+
+Task programs are Python generators that *yield* micro-ops and receive the
+op's result via ``send``.  Each micro-op is a plain tuple whose first
+element is one of the opcode strings below; the helper constructors build
+well-formed tuples and are the recommended way to emit ops.
+
+The seven O-structure operations all take an address, exactly as in the
+paper ("in practice all operations take an address parameter"):
+
+========================  ====================================================
+``LOAD-VERSION``          value of exactly version ``v``; stalls until created
+                          and unlocked (locks on other versions are ignored).
+``LOAD-LATEST``           value of the highest created version <= ``v``;
+                          stalls if none exists or that version is locked.
+``STORE-VERSION``         creates version ``v`` holding ``value``; versions
+                          are immutable once created.
+``LOCK-LOAD-VERSION``     LOAD-VERSION + lock the loaded version; stalls if
+                          already locked.
+``LOCK-LOAD-LATEST``      LOAD-LATEST + lock the loaded version.
+``UNLOCK-VERSION``        unlock ``v``; optionally create unlocked version
+                          ``vn`` carrying the same value (renaming).
+``TASK-BEGIN/TASK-END``   garbage-collection progress reports (Section
+                          III-B); issued automatically by the core around
+                          each task, but also available to programs.
+========================  ====================================================
+
+Conventional (unversioned) memory keeps its ordinary ``LOAD``/``STORE``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+# Opcode strings (tuple tag of each micro-op).
+COMPUTE = "compute"
+LOAD = "load"
+STORE = "store"
+LOAD_VERSION = "load_version"
+LOAD_LATEST = "load_latest"
+STORE_VERSION = "store_version"
+LOCK_LOAD_VERSION = "lock_load_version"
+LOCK_LOAD_LATEST = "lock_load_latest"
+UNLOCK_VERSION = "unlock_version"
+TASK_BEGIN = "task_begin"
+TASK_END = "task_end"
+RW_ACQUIRE = "rw_acquire"
+RW_RELEASE = "rw_release"
+
+#: Opcodes that go through the O-structure manager (and therefore receive
+#: the injected extra latency of Figure 10).
+VERSIONED_OPS = frozenset(
+    {
+        LOAD_VERSION,
+        LOAD_LATEST,
+        STORE_VERSION,
+        LOCK_LOAD_VERSION,
+        LOCK_LOAD_LATEST,
+        UNLOCK_VERSION,
+    }
+)
+
+
+def compute(n: int) -> tuple:
+    """``n`` ALU instructions (retired ``issue_width`` per cycle)."""
+    return (COMPUTE, n)
+
+
+def load(addr: int) -> tuple:
+    """Conventional load; yields the stored value."""
+    return (LOAD, addr)
+
+
+def store(addr: int, value: Any) -> tuple:
+    """Conventional store."""
+    return (STORE, addr, value)
+
+
+def load_version(addr: int, version: int) -> tuple:
+    """Exact-version load; result is the value."""
+    return (LOAD_VERSION, addr, version)
+
+
+def load_latest(addr: int, cap: int) -> tuple:
+    """Capped load; result is a ``(version, value)`` pair."""
+    return (LOAD_LATEST, addr, cap)
+
+
+def store_version(addr: int, version: int, value: Any) -> tuple:
+    """Create a new version."""
+    return (STORE_VERSION, addr, version, value)
+
+
+def lock_load_version(addr: int, version: int) -> tuple:
+    """Exact-version load + lock; result is the value."""
+    return (LOCK_LOAD_VERSION, addr, version)
+
+
+def lock_load_latest(addr: int, cap: int) -> tuple:
+    """Capped load + lock; result is a ``(version, value)`` pair."""
+    return (LOCK_LOAD_LATEST, addr, cap)
+
+
+def unlock_version(addr: int, version: int, new_version: int | None = None) -> tuple:
+    """Unlock ``version``; optionally rename its value to ``new_version``."""
+    return (UNLOCK_VERSION, addr, version, new_version)
+
+
+def task_begin(task_id: int) -> tuple:
+    return (TASK_BEGIN, task_id)
+
+
+def task_end(task_id: int) -> tuple:
+    return (TASK_END, task_id)
+
+
+def rw_acquire(lock: Any, mode: str) -> tuple:
+    """Acquire a simulated read-write lock; ``mode`` is ``'r'`` or ``'w'``."""
+    return (RW_ACQUIRE, lock, mode)
+
+
+def rw_release(lock: Any, mode: str) -> tuple:
+    return (RW_RELEASE, lock, mode)

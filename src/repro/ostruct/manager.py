@@ -1,0 +1,481 @@
+"""The O-structure Manager: versioned-memory operations over the caches.
+
+One manager serves the whole machine (the paper places an O-structure
+manager next to each L1 plus one at the L2; a single object with per-core
+compressed-line state models the same protocol while keeping the functional
+version store coherent by construction).
+
+Lookup proceeds exactly as in Section III-A:
+
+1. **Direct access** — if the requesting core's L1 holds the compressed
+   version-block line for the address and the wanted version is among its
+   (up to eight) entries, the access completes in one L1 hit.
+2. **Full lookup** — otherwise the version-block list is walked from its
+   head.  Each visited block charges one hierarchy access; with pollution
+   avoidance enabled, traversed blocks are *not* installed in the caches —
+   only the block holding the requested version is, and it is also added
+   to the compressed line (selective caching of versions accessed during
+   full lookups).
+
+Blocking semantics (uncreated or locked versions) are delivered to the
+core as :class:`StallSignal`; the core registers a waiter and retries when
+the address is notified (store or unlock).  Writes to an O-structure's
+root line invalidate other cores' copies through the coherence directory,
+which — via the L1 eviction hooks — discards their compressed lines, the
+paper's "simplest course of action" for compressed-line coherence.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..errors import (
+    NotLockedError,
+    ProtectionFault,
+    SimulationError,
+    VersionExistsError,
+)
+from .compression import CompressedLine
+from .version_block import VersionBlock, VersionList
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import MachineConfig
+    from ..sim.engine import Simulator
+    from ..sim.hierarchy import MemoryHierarchy
+    from ..sim.stats import SimStats
+    from .free_list import FreeList
+    from .gc import GarbageCollector
+    from .page_table import PageTable
+
+
+class StallSignal(Exception):
+    """An O-structure operation must block; the core registers a waiter."""
+
+    def __init__(self, vaddr: int, reason: str):
+        self.vaddr = vaddr
+        self.reason = reason
+        super().__init__(f"stall at 0x{vaddr:x}: {reason}")
+
+
+class _DirectEntry:
+    """Per-(core, address) compressed line plus the block refs it shadows."""
+
+    __slots__ = ("line", "blocks")
+
+    def __init__(self) -> None:
+        self.line = CompressedLine()
+        self.blocks: dict[int, VersionBlock] = {}
+
+    def put(self, block: VersionBlock) -> bool:
+        ok = self.line.put(block.version, block.value, block.locked_by)
+        if ok:
+            self.blocks[block.version] = block
+            # The line may have evicted entries to honour capacity/range.
+            live = set(self.line.versions())
+            for v in list(self.blocks):
+                if v not in live:
+                    del self.blocks[v]
+        return ok
+
+    def get(self, version: int) -> VersionBlock | None:
+        if self.line.get(version) is None:
+            return None
+        return self.blocks.get(version)
+
+    def drop(self, version: int) -> None:
+        self.line.drop(version)
+        self.blocks.pop(version, None)
+
+
+class OStructureManager:
+    """Implements the seven versioned-memory operations of Section II-A."""
+
+    def __init__(
+        self,
+        *,
+        config: "MachineConfig",
+        sim: "Simulator",
+        hierarchy: "MemoryHierarchy",
+        page_table: "PageTable",
+        free_list: "FreeList",
+        gc: "GarbageCollector",
+        stats: "SimStats",
+    ):
+        self.config = config
+        self.sim = sim
+        self.hierarchy = hierarchy
+        self.page_table = page_table
+        self.free_list = free_list
+        self.gc = gc
+        self.stats = stats
+        #: vaddr -> version list (the functional version store).
+        self.lists: dict[int, VersionList] = {}
+        #: Per-core compressed-line state: vaddr -> _DirectEntry.
+        self._direct: list[dict[int, _DirectEntry]] = [
+            {} for _ in range(config.num_cores)
+        ]
+        #: Per-core reverse index: L1 block number -> vaddrs cached there.
+        self._block_index: list[dict[int, set[int]]] = [
+            {} for _ in range(config.num_cores)
+        ]
+        #: vaddr -> callbacks waiting for a store/unlock at that address.
+        self._waiters: dict[int, list[Callable[[], None]]] = {}
+        #: Addresses registered as data-structure roots (stall accounting).
+        self.roots: set[int] = set()
+        for core_id in range(config.num_cores):
+            hierarchy.add_l1_evict_hook(core_id, self._make_discard_hook(core_id))
+        gc.reclaim_hooks.append(self._on_reclaim)
+
+    # ------------------------------------------------------------------
+    # Compressed-line (direct access) state.
+    # ------------------------------------------------------------------
+
+    def _make_discard_hook(self, core_id: int):
+        def hook(block: int) -> None:
+            vaddrs = self._block_index[core_id].pop(block, None)
+            if vaddrs:
+                for vaddr in vaddrs:
+                    self._direct[core_id].pop(vaddr, None)
+
+        return hook
+
+    def _on_reclaim(self, vaddr: int, version: int) -> None:
+        for core_direct in self._direct:
+            entry = core_direct.get(vaddr)
+            if entry is not None:
+                entry.drop(version)
+
+    def _cache_version(self, core_id: int, vaddr: int, block: VersionBlock) -> None:
+        """Selectively cache one version in the core's compressed line."""
+        if not self.config.compression_enabled:
+            return
+        direct = self._direct[core_id]
+        entry = direct.get(vaddr)
+        if entry is None:
+            entry = _DirectEntry()
+            direct[vaddr] = entry
+            self._block_index[core_id].setdefault(vaddr >> 6, set()).add(vaddr)
+        entry.put(block)
+
+    def _direct_lookup(
+        self, core_id: int, vaddr: int, version: int | None, cap: int | None
+    ) -> VersionBlock | None:
+        """Try the single-L1-access direct path.
+
+        ``version`` requests an exact id.  ``cap`` requests the latest
+        version <= cap, which the compressed line can only answer safely
+        when it holds either version ``cap`` itself or the list's global
+        head (the overall latest version) at or below the cap.
+        """
+        if not self.config.compression_enabled:
+            return None
+        if not self.hierarchy.l1s[core_id].contains(vaddr >> 6):
+            return None
+        entry = self._direct[core_id].get(vaddr)
+        if entry is None:
+            return None
+        if version is not None:
+            return entry.get(version)
+        assert cap is not None
+        exact = entry.get(cap)
+        if exact is not None:
+            return exact
+        lst = self.lists.get(vaddr)
+        if lst is not None and lst.head is not None and lst.head.version <= cap:
+            return entry.get(lst.head.version)
+        return None
+
+    # ------------------------------------------------------------------
+    # Waiter queues.
+    # ------------------------------------------------------------------
+
+    def add_waiter(self, vaddr: int, cb: Callable[[], None]) -> None:
+        self._waiters.setdefault(vaddr, []).append(cb)
+
+    def waiter_count(self, vaddr: int) -> int:
+        return len(self._waiters.get(vaddr, ()))
+
+    def has_waiters(self) -> bool:
+        return any(self._waiters.values())
+
+    def _notify(self, vaddr: int) -> None:
+        """Wake every waiter on ``vaddr``; they retry next cycle."""
+        cbs = self._waiters.pop(vaddr, None)
+        if cbs:
+            for cb in cbs:
+                self.sim.schedule(1, cb)
+
+    # ------------------------------------------------------------------
+    # Shared lookup machinery.
+    # ------------------------------------------------------------------
+
+    def register_root(self, vaddr: int) -> None:
+        """Mark an address as a data-structure root for stall statistics."""
+        self.roots.add(vaddr)
+
+    def _extra(self) -> int:
+        """Injected latency plus GC interference.
+
+        While a collection phase is active the collector shares the
+        cache/manager ports with the program, which costs one extra cycle
+        per versioned operation — the source of the paper's ~0.1%
+        GC overhead (Section IV-F).
+        """
+        lat = self.config.versioned_op_extra_latency
+        if self.gc.phase_active:
+            lat += 1
+        return lat
+
+    def _get_list(self, vaddr: int, create: bool) -> VersionList | None:
+        self.page_table.check_versioned(vaddr)
+        lst = self.lists.get(vaddr)
+        if lst is None and create:
+            lst = VersionList(vaddr, sorted_insert=self.config.sorted_version_lists)
+            self.lists[vaddr] = lst
+        return lst
+
+    def check_head(self, block: VersionBlock) -> None:
+        """The hardware head-bit check: entering a list mid-way faults."""
+        if not block.head:
+            raise ProtectionFault(
+                f"version block @0x{block.paddr:x} entered without head bit"
+            )
+
+    def _walk_cost(self, core_id: int, lst: VersionList, visited: int, found: VersionBlock | None) -> int:
+        """Charge hierarchy accesses for a list walk of ``visited`` blocks.
+
+        With pollution avoidance only the found block installs into the
+        caches; every other traversed block is fetched without installing.
+        """
+        lat = 0
+        avoid = self.config.pollution_avoidance
+        b = lst.head
+        i = 0
+        while b is not None and i < visited:
+            install = (b is found) or not avoid
+            lat += self.hierarchy.access(core_id, b.paddr, install=install)
+            b = b.next
+            i += 1
+        return lat
+
+    def _full_lookup(
+        self,
+        core_id: int,
+        vaddr: int,
+        *,
+        version: int | None = None,
+        cap: int | None = None,
+    ) -> tuple[int, VersionBlock | None]:
+        """Walk the version-block list; returns (latency, block_or_None)."""
+        self.stats.full_lookups += 1
+        lat = self.hierarchy.access(core_id, vaddr)  # root pointer
+        lst = self.lists.get(vaddr)
+        if lst is None or lst.head is None:
+            return lat, None
+        self.check_head(lst.head)
+        if version is not None:
+            block, visited = lst.find_exact(version)
+        else:
+            assert cap is not None
+            block, visited = lst.find_latest(cap)
+        self.stats.lookup_blocks_visited += visited
+        lat += self._walk_cost(core_id, lst, visited, block)
+        if block is not None:
+            self._cache_version(core_id, vaddr, block)
+        return lat, block
+
+    def _locate(
+        self,
+        core_id: int,
+        vaddr: int,
+        *,
+        version: int | None = None,
+        cap: int | None = None,
+    ) -> tuple[int, VersionBlock | None, bool]:
+        """Direct access with full-lookup fallback.
+
+        Returns ``(latency, block_or_None, was_direct)``.
+        """
+        self.page_table.check_versioned(vaddr)
+        block = self._direct_lookup(core_id, vaddr, version, cap)
+        if block is not None:
+            self.stats.direct_hits += 1
+            lat = self.hierarchy.access(core_id, vaddr)  # guaranteed L1 hit
+            return lat, block, True
+        lat, block = self._full_lookup(core_id, vaddr, version=version, cap=cap)
+        return lat, block, False
+
+    # ------------------------------------------------------------------
+    # The seven operations.
+    # ------------------------------------------------------------------
+
+    def load_version(self, core_id: int, vaddr: int, version: int) -> tuple[int, Any]:
+        """LOAD-VERSION: exact-version read (Section II-A)."""
+        lat, block, _ = self._locate(core_id, vaddr, version=version)
+        if block is None:
+            raise StallSignal(vaddr, f"version {version} not yet created")
+        if block.locked:
+            raise StallSignal(vaddr, f"version {version} locked by {block.locked_by}")
+        return lat + self._extra(), block.value
+
+    def load_latest(self, core_id: int, vaddr: int, cap: int) -> tuple[int, tuple[int, Any]]:
+        """LOAD-LATEST: highest created version <= cap."""
+        lat, block, _ = self._locate(core_id, vaddr, cap=cap)
+        if block is None:
+            raise StallSignal(vaddr, f"no version <= {cap} created yet")
+        if block.locked:
+            raise StallSignal(
+                vaddr, f"latest version {block.version} locked by {block.locked_by}"
+            )
+        return lat + self._extra(), (block.version, block.value)
+
+    def store_version(
+        self, core_id: int, vaddr: int, version: int, value: Any, task_id: int | None = None
+    ) -> tuple[int, None]:
+        """STORE-VERSION: create a new, immutable version."""
+        lst = self._get_list(vaddr, create=True)
+        assert lst is not None
+        lat = self._extra()
+        # Root pointer / predecessor line is modified: exclusive access,
+        # which also invalidates other cores' compressed lines.
+        lat += self.hierarchy.access(core_id, vaddr, write=True)
+        paddr, trap_lat = self.free_list.allocate()
+        lat += trap_lat
+        self.gc.maybe_trigger()
+        block = VersionBlock(version, value, paddr)
+        try:
+            shadowed, visited = lst.insert(block)
+        except SimulationError as exc:
+            self.free_list.release(paddr)
+            raise VersionExistsError(str(exc)) from exc
+        # Walk to the insertion point (sorted mode), then acquire the two
+        # cache lines — predecessor and new block — in address order.
+        if visited:
+            self.stats.lookup_blocks_visited += visited
+            lat += self._walk_cost(core_id, lst, visited, None)
+        # The new block is composed in full by the hardware, so its line
+        # is write-allocated without fetching stale memory.
+        lat += self.hierarchy.write_no_fetch(core_id, paddr)
+        self.stats.versions_created += 1
+        if shadowed is not None:
+            self.gc.register_shadowed(shadowed, lst)
+        self._cache_version(core_id, vaddr, block)
+        self._notify(vaddr)
+        return lat, None
+
+    def lock_load_version(
+        self, core_id: int, vaddr: int, version: int, task_id: int
+    ) -> tuple[int, Any]:
+        """LOCK-LOAD-VERSION: exact read plus lock."""
+        lat, block, _ = self._locate(core_id, vaddr, version=version)
+        if block is None:
+            raise StallSignal(vaddr, f"version {version} not yet created")
+        if block.locked:
+            raise StallSignal(vaddr, f"version {version} locked by {block.locked_by}")
+        return lat + self._lock(core_id, vaddr, block, task_id) + self._extra(), block.value
+
+    def lock_load_latest(
+        self, core_id: int, vaddr: int, cap: int, task_id: int
+    ) -> tuple[int, tuple[int, Any]]:
+        """LOCK-LOAD-LATEST: capped read plus lock."""
+        lat, block, _ = self._locate(core_id, vaddr, cap=cap)
+        if block is None:
+            raise StallSignal(vaddr, f"no version <= {cap} created yet")
+        if block.locked:
+            raise StallSignal(
+                vaddr, f"latest version {block.version} locked by {block.locked_by}"
+            )
+        lat += self._lock(core_id, vaddr, block, task_id) + self._extra()
+        return lat, (block.version, block.value)
+
+    def _lock(self, core_id: int, vaddr: int, block: VersionBlock, task_id: int) -> int:
+        """Gain exclusive access to the block's line and set locked-by."""
+        block.locked_by = task_id
+        self.stats.versions_locked += 1
+        lat = self.hierarchy.access(core_id, block.paddr, write=True)
+        self._cache_version(core_id, vaddr, block)
+        return lat
+
+    def unlock_version(
+        self,
+        core_id: int,
+        vaddr: int,
+        version: int,
+        task_id: int,
+        new_version: int | None = None,
+    ) -> tuple[int, None]:
+        """UNLOCK-VERSION: release a lock, optionally renaming (Section II-A).
+
+        When ``new_version`` is given, an unlocked version carrying the
+        same value is created — the renaming step of hand-over-hand
+        pipelining.
+        """
+        lat, block, _ = self._locate(core_id, vaddr, version=version)
+        if block is None:
+            raise NotLockedError(f"version {version} of 0x{vaddr:x} does not exist")
+        if block.locked_by != task_id:
+            raise NotLockedError(
+                f"task {task_id} does not hold version {version} of 0x{vaddr:x} "
+                f"(locked_by={block.locked_by})"
+            )
+        block.locked_by = None
+        self.stats.versions_unlocked += 1
+        lat += self.hierarchy.access(core_id, block.paddr, write=True)
+        self._cache_version(core_id, vaddr, block)
+        if new_version is not None:
+            slat, _ = self.store_version(core_id, vaddr, new_version, block.value, task_id)
+            lat += slat
+        self._notify(vaddr)
+        return lat + self._extra(), None
+
+    # ------------------------------------------------------------------
+    # O-structure lifecycle (Section III-C).
+    # ------------------------------------------------------------------
+
+    def versions_of(self, vaddr: int) -> list[int]:
+        """All live version ids of an address (newest first if sorted)."""
+        lst = self.lists.get(vaddr)
+        return lst.versions() if lst is not None else []
+
+    def free_ostructure(self, vaddr: int) -> int:
+        """Release every version block of ``vaddr``; returns count freed.
+
+        The caller must guarantee quiescence (no unfinished task touches
+        the address); locked versions or parked waiters indicate a
+        violation and fault.
+        """
+        lst = self.lists.pop(vaddr, None)
+        if lst is None:
+            return 0
+        if self._waiters.get(vaddr):
+            self.lists[vaddr] = lst
+            raise ProtectionFault(
+                f"freeing O-structure 0x{vaddr:x} with blocked waiters"
+            )
+        count = 0
+        for block in lst:
+            if block.locked:
+                self.lists[vaddr] = lst
+                raise ProtectionFault(
+                    f"freeing O-structure 0x{vaddr:x} with locked version "
+                    f"{block.version}"
+                )
+        for block in list(lst):
+            lst.remove(block)
+            self.free_list.release(block.paddr)
+            self.hierarchy.invalidate_everywhere(block.paddr)
+            count += 1
+        for core_id in range(self.config.num_cores):
+            self._direct[core_id].pop(vaddr, None)
+            idx = self._block_index[core_id].get(vaddr >> 6)
+            if idx is not None:
+                idx.discard(vaddr)
+        return count
+
+    def blocked_waiter_report(self) -> list[str]:
+        """Describe parked waiters (deadlock diagnostics)."""
+        out = []
+        for vaddr, cbs in self._waiters.items():
+            if cbs:
+                out.append(f"{len(cbs)} waiter(s) on 0x{vaddr:x}")
+        return out

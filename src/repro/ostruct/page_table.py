@@ -1,0 +1,61 @@
+"""Page table with the version-block protection bit (Section III).
+
+The paper extends the page table with a bit marking pages that contain
+version blocks.  Conventional loads and stores to such pages fault, and
+O-structure instructions fault when their target page lacks the bit.
+Together with the head-bit check on version-block lists, this keeps the
+physical pointers inside version blocks unreachable from user code.
+
+Address translation is modelled as identity (virtual == physical): the
+paper's protection argument depends only on the *bit*, not on the mapping,
+and an identity map keeps the hot path to a single set lookup.
+"""
+
+from __future__ import annotations
+
+from ..errors import ProtectionFault
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+class PageTable:
+    """Tracks which pages hold versioned data / version blocks."""
+
+    __slots__ = ("_versioned_pages",)
+
+    def __init__(self) -> None:
+        self._versioned_pages: set[int] = set()
+
+    @staticmethod
+    def page_of(addr: int) -> int:
+        return addr >> PAGE_SHIFT
+
+    def mark_versioned(self, addr: int, nbytes: int = PAGE_SIZE) -> None:
+        """Set the version-block bit on every page overlapping the range."""
+        first = addr >> PAGE_SHIFT
+        last = (addr + max(nbytes, 1) - 1) >> PAGE_SHIFT
+        self._versioned_pages.update(range(first, last + 1))
+
+    def clear_versioned(self, addr: int, nbytes: int = PAGE_SIZE) -> None:
+        """Clear the bit (used when converting O-structures back; III-C)."""
+        first = addr >> PAGE_SHIFT
+        last = (addr + max(nbytes, 1) - 1) >> PAGE_SHIFT
+        self._versioned_pages.difference_update(range(first, last + 1))
+
+    def is_versioned(self, addr: int) -> bool:
+        return (addr >> PAGE_SHIFT) in self._versioned_pages
+
+    def check_conventional(self, addr: int) -> None:
+        """Fault if a conventional access touches a versioned page."""
+        if (addr >> PAGE_SHIFT) in self._versioned_pages:
+            raise ProtectionFault(
+                f"conventional access to versioned page at 0x{addr:x}"
+            )
+
+    def check_versioned(self, addr: int) -> None:
+        """Fault if an O-structure instruction touches a conventional page."""
+        if (addr >> PAGE_SHIFT) not in self._versioned_pages:
+            raise ProtectionFault(
+                f"O-structure access to non-versioned page at 0x{addr:x}"
+            )

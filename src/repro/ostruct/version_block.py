@@ -1,0 +1,213 @@
+"""Version blocks and per-address version-block lists (Figure 3).
+
+A version block is the paper's 16-byte structure: version identifier
+(32 bits), next pointer (physical address, 30 bits), locked-by field
+(32 bits), head bit, and the 32-bit datum.  Here each block is a slotted
+Python object carrying a simulated physical address assigned by the free
+list; the ``next`` field is an object reference, with ``next_paddr``
+mirroring the physical pointer the hardware would chase.
+
+The list invariant follows the paper: blocks are kept sorted with the
+*highest* version at the head ("newest in program order closer to the
+head"), which lets lookups terminate early and simplifies garbage
+collection.  The no-sorting configuration of Section IV-F inserts at the
+head unconditionally instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..errors import SimulationError
+
+#: Field widths from Figure 3 (for documentation and range checks).
+VERSION_ID_BITS = 32
+NEXT_PTR_BITS = 30
+LOCKED_BY_BITS = 32
+DATA_BITS = 32
+
+#: ``locked_by`` value meaning "not locked".
+UNLOCKED: int | None = None
+
+
+class VersionBlock:
+    """One version of one memory location."""
+
+    __slots__ = ("version", "value", "locked_by", "paddr", "next", "head", "shadowed")
+
+    def __init__(self, version: int, value: Any, paddr: int):
+        if version < 0 or version >= (1 << VERSION_ID_BITS):
+            raise SimulationError(f"version id {version} outside 32-bit range")
+        self.version = version
+        self.value = value
+        self.locked_by: int | None = UNLOCKED
+        self.paddr = paddr
+        self.next: VersionBlock | None = None
+        #: Head bit: set only on the block at the head of a list
+        #: (checked by the hardware on access; Section III).
+        self.head = False
+        #: Set once this block has been registered with the GC's shadowed
+        #: list, so a block is never registered twice.
+        self.shadowed = False
+
+    @property
+    def next_paddr(self) -> int | None:
+        """The physical pointer the hardware would store in ``next``."""
+        return self.next.paddr if self.next is not None else None
+
+    @property
+    def locked(self) -> bool:
+        return self.locked_by is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        lock = f" locked_by={self.locked_by}" if self.locked else ""
+        return f"<VB v{self.version}={self.value!r}{lock} @0x{self.paddr:x}>"
+
+
+class VersionList:
+    """The sorted version-block list of one O-structure address."""
+
+    __slots__ = ("vaddr", "head", "length", "sorted")
+
+    def __init__(self, vaddr: int, sorted_insert: bool = True):
+        self.vaddr = vaddr
+        self.head: VersionBlock | None = None
+        self.length = 0
+        self.sorted = sorted_insert
+
+    def __iter__(self) -> Iterator[VersionBlock]:
+        b = self.head
+        while b is not None:
+            yield b
+            b = b.next
+
+    def __len__(self) -> int:
+        return self.length
+
+    def versions(self) -> list[int]:
+        """All version ids, head to tail (for tests and reports)."""
+        return [b.version for b in self]
+
+    # -- lookup --------------------------------------------------------------
+
+    def find_exact(self, version: int) -> tuple[VersionBlock | None, int]:
+        """Find version ``version``; returns ``(block_or_None, blocks_visited)``.
+
+        On a sorted list the walk stops early once versions drop below the
+        target — the paper's early-termination property.
+        """
+        visited = 0
+        for b in self:
+            visited += 1
+            if b.version == version:
+                return b, visited
+            if self.sorted and b.version < version:
+                return None, visited
+        return None, visited
+
+    def find_latest(self, cap: int) -> tuple[VersionBlock | None, int]:
+        """Highest created version <= ``cap``; returns ``(block, visited)``."""
+        visited = 0
+        best: VersionBlock | None = None
+        for b in self:
+            visited += 1
+            if b.version <= cap:
+                if self.sorted:
+                    return b, visited
+                if best is None or b.version > best.version:
+                    best = b
+        return best, visited
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, block: VersionBlock) -> tuple[VersionBlock | None, int]:
+        """Insert ``block`` into the list.
+
+        Returns ``(shadowed_block, blocks_visited)`` where ``shadowed_block``
+        is the version that the new block newly shadows (the next-lower
+        version, when the new block is inserted above it), or ``None``.
+
+        Sorted mode walks to the insertion point (the two-cache-line
+        exclusive acquisition of Section III-A is charged by the manager);
+        unsorted mode pushes at the head in O(1).
+        """
+        if block.next is not None:
+            raise SimulationError("block already linked into a list")
+        visited = 0
+        if not self.sorted or self.head is None or block.version > self.head.version:
+            # New head (common case: versions created in task order).
+            if self.head is not None:
+                visited = 1
+                self.head.head = False
+            block.next = self.head
+            self.head = block
+            block.head = True
+            self.length += 1
+            shadowed = block.next if self.sorted else self._shadow_scan(block)
+            return shadowed, visited
+
+        # Walk to the insertion point: first block with a smaller version.
+        prev = self.head
+        visited = 1
+        while prev.next is not None and prev.next.version > block.version:
+            prev = prev.next
+            visited += 1
+        if prev.version == block.version or (
+            prev.next is not None and prev.next.version == block.version
+        ):
+            raise SimulationError(
+                f"duplicate version {block.version} at 0x{self.vaddr:x}"
+            )
+        block.next = prev.next
+        prev.next = block
+        self.length += 1
+        # The next-lower version becomes shadowed by the new block.
+        return block.next, visited
+
+    def _shadow_scan(self, block: VersionBlock) -> VersionBlock | None:
+        """Unsorted-mode shadowing: highest version strictly below the new one."""
+        best: VersionBlock | None = None
+        for b in self:
+            if b is block:
+                continue
+            if b.version < block.version and (best is None or b.version > best.version):
+                best = b
+        return best
+
+    def remove(self, block: VersionBlock) -> bool:
+        """Unlink ``block``; returns whether it was present."""
+        prev: VersionBlock | None = None
+        for b in self:
+            if b is block:
+                if prev is None:
+                    self.head = b.next
+                    if self.head is not None:
+                        self.head.head = True
+                else:
+                    prev.next = b.next
+                b.next = None
+                b.head = False
+                self.length -= 1
+                return True
+            prev = b
+        return False
+
+    def check_invariants(self) -> None:
+        """Raise if structural invariants are violated (tests call this)."""
+        seen: set[int] = set()
+        count = 0
+        prev_version: int | None = None
+        for i, b in enumerate(self):
+            count += 1
+            if b.version in seen:
+                raise SimulationError(f"duplicate version {b.version}")
+            seen.add(b.version)
+            if (b is self.head) != b.head:
+                raise SimulationError("head bit inconsistent with list position")
+            if self.sorted and prev_version is not None and b.version >= prev_version:
+                raise SimulationError("list not sorted descending")
+            prev_version = b.version
+            if i > self.length:
+                raise SimulationError("list longer than recorded length (cycle?)")
+        if count != self.length:
+            raise SimulationError(f"length {self.length} != counted {count}")

@@ -1,0 +1,32 @@
+"""Task runtime: the software layer the paper assumes above the ISA.
+
+Provides the task abstraction with GC progress tracking
+(:mod:`repro.runtime.task`), the static scheduler of Section IV-A
+(:mod:`repro.runtime.scheduler`), the simulated heap
+(:mod:`repro.runtime.allocator`), the high-level versioned-handle API of
+Figure 1 (:mod:`repro.runtime.versioned`), and the read-write lock used by
+the unversioned baseline (:mod:`repro.runtime.rwlock`).
+"""
+
+from .task import Task, TaskTracker
+from .scheduler import StaticScheduler
+from .allocator import SimHeap
+from .versioned import Versioned
+from .istructures import IStructure, MStructure, new_istructure, new_mstructure
+from .pipeline import parallel_for, spawn_tasks
+from .rwlock import SimRWLock
+
+__all__ = [
+    "Task",
+    "TaskTracker",
+    "StaticScheduler",
+    "SimHeap",
+    "Versioned",
+    "IStructure",
+    "MStructure",
+    "new_istructure",
+    "new_mstructure",
+    "parallel_for",
+    "spawn_tasks",
+    "SimRWLock",
+]

@@ -1,0 +1,71 @@
+"""Simulated heap: address-space management for workloads.
+
+Workload data structures live at synthetic addresses so the cache model
+sees realistic layouts (nodes spread over cache lines, arrays contiguous).
+The heap is a simple bump allocator over two regions: a conventional
+region and a versioned region whose pages carry the page-table bit.  A
+third, disjoint region backs the version-block free list.
+
+Freed node memory is intentionally *not* recycled during a run: Section
+III-C recommends programs delay recycling of freed versioned memory to
+quiescent points, and the workloads follow that rule.
+"""
+
+from __future__ import annotations
+
+from ..errors import AllocationError
+from ..ostruct.page_table import PageTable
+
+#: Region bases (well separated; the simulated address space is 2^48).
+CONVENTIONAL_BASE = 0x1000_0000
+VERSIONED_BASE = 0x4000_0000
+VERSION_BLOCK_BASE = 0x8000_0000
+
+_REGION_LIMIT = 0x3000_0000  # bytes per region
+
+
+class SimHeap:
+    """Bump allocator over the simulated address space."""
+
+    def __init__(self, page_table: PageTable):
+        self._page_table = page_table
+        self._conv_next = CONVENTIONAL_BASE
+        self._vers_next = VERSIONED_BASE
+
+    @staticmethod
+    def _align(addr: int, align: int) -> int:
+        return (addr + align - 1) & ~(align - 1)
+
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        """Allocate conventional memory; returns its base address."""
+        if nbytes <= 0:
+            raise AllocationError("allocation size must be positive")
+        addr = self._align(self._conv_next, align)
+        if addr + nbytes > CONVENTIONAL_BASE + _REGION_LIMIT:
+            raise AllocationError("conventional region exhausted")
+        self._conv_next = addr + nbytes
+        return addr
+
+    def alloc_versioned(self, nwords: int, word_bytes: int = 4, align: int = 8) -> int:
+        """Allocate ``nwords`` O-structure addresses (versioned pages).
+
+        Each word is an independent O-structure root; the page-table bit
+        is set for the whole range so conventional access faults.
+        """
+        if nwords <= 0:
+            raise AllocationError("allocation size must be positive")
+        nbytes = nwords * word_bytes
+        addr = self._align(self._vers_next, align)
+        if addr + nbytes > VERSIONED_BASE + _REGION_LIMIT:
+            raise AllocationError("versioned region exhausted")
+        self._vers_next = addr + nbytes
+        self._page_table.mark_versioned(addr, nbytes)
+        return addr
+
+    @property
+    def conventional_used(self) -> int:
+        return self._conv_next - CONVENTIONAL_BASE
+
+    @property
+    def versioned_used(self) -> int:
+        return self._vers_next - VERSIONED_BASE

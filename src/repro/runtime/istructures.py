@@ -1,0 +1,114 @@
+"""I-structures and M-structures over O-structures (Table I, Section II-B).
+
+The paper positions O-structures as a superset of the classic dataflow
+synchronisation cells:
+
+- an **I-structure** (Arvind et al.) is a write-once location: writes
+  fill it, reads block until filled.  "Functional programming can use
+  O-structures as I-structures, reducing versioning to full/empty bits."
+- an **M-structure** (Barth et al.) adds mutable *take/put*: ``take``
+  empties the cell (blocking others), ``put`` refills it.
+
+Both reduce to a fixed O-structure usage pattern, which is exactly what
+this module provides.  Like :class:`~repro.runtime.versioned.Versioned`,
+methods return micro-op tuples for task generators to yield; multi-op
+sequences are generator helpers used with ``yield from``.
+
+Mapping:
+
+- I-structure: single version ``FILL_VERSION``; ``write`` is
+  STORE-VERSION, ``read`` is the blocking LOAD-VERSION.
+- M-structure: a monotonically growing version chain.  ``take(tid)``
+  LOCK-LOAD-LATEST-locks the current version — concurrent takers stall on
+  the lock, exactly the M-structure contract; ``put(tid, value)`` stores
+  the new value as version ``tid`` and unlocks the taken version, waking
+  blocked takers (who then observe the *new* latest version).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..ostruct import isa
+
+#: The single version id used by I-structure fills.
+FILL_VERSION = 1
+
+
+class IStructure:
+    """A write-once dataflow cell."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def write(self, value: Any) -> tuple:
+        """Fill the cell; a second write faults (VersionExistsError)."""
+        return isa.store_version(self.addr, FILL_VERSION, value)
+
+    def read(self) -> tuple:
+        """Read the cell; blocks until filled."""
+        return isa.load_version(self.addr, FILL_VERSION)
+
+
+class MStructure:
+    """A take/put mutable dataflow cell.
+
+    One ``take``/``put`` pair per task id; version ids must rise across
+    puts (use the task id, per GC rule 1).
+
+    Like Barth's original M-structures, concurrent takes are *racy*: a
+    later-id task that reaches the cell first may take the older value
+    (takes serialize on the lock, not on task order).  Programs needing
+    deterministic task-ordered hand-off should use the exact-version
+    baton pattern of Figure 1 instead (``lock_load_version(tid)`` /
+    ``unlock_version(tid, next_tid)``) — that is precisely the extra
+    power O-structures add over M-structures (Section V-A: M-structures
+    "do not provide total ordering between an arbitrary number of
+    producers and consumers").
+    """
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def initialize(self, value: Any) -> tuple:
+        """Create the initial (version 0) value; part of construction."""
+        return isa.store_version(self.addr, 0, value)
+
+    def take(self, tid: int) -> Generator:
+        """Empty the cell: returns ``(taken_version, value)``.
+
+        Blocks while another task holds the cell (its version is locked).
+        """
+        version, value = yield isa.lock_load_latest(self.addr, tid)
+        return version, value
+
+    def put(self, tid: int, taken_version: int, value: Any) -> Generator:
+        """Refill the cell with ``value`` and release it.
+
+        The new value becomes version ``tid``; the taken version is
+        unlocked afterwards so blocked takers re-run their LOAD-LATEST
+        and pick up the refill.
+        """
+        yield isa.store_version(self.addr, tid, value)
+        yield isa.unlock_version(self.addr, taken_version, None)
+
+    def read(self, tid: int) -> Generator:
+        """Non-destructive read of the current value (blocks if taken)."""
+        _, value = yield isa.load_latest(self.addr, tid)
+        return value
+
+
+def new_istructure(machine) -> IStructure:
+    """Allocate an I-structure on a machine's versioned heap."""
+    return IStructure(machine.heap.alloc_versioned(1))
+
+
+def new_mstructure(machine, initial: Any) -> MStructure:
+    """Allocate and initialise an M-structure (initial value = version 0)."""
+    m = MStructure(machine.heap.alloc_versioned(1))
+    machine.manager.store_version(0, m.addr, 0, initial)
+    return m

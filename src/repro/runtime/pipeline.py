@@ -1,0 +1,67 @@
+"""Task-spawning conveniences matching Figure 1's outer loop.
+
+The paper's library-API example ends with::
+
+    for (int i = 0; i < N; ++i)
+        create_task(i, insert_end, new node_t{i});
+
+:func:`parallel_for` is that loop: it numbers tasks consecutively (ids
+are versions, GC rule 1), builds them from one body, and optionally
+submits them to a machine.  :func:`spawn_tasks` is the general form for
+heterogeneous bodies, including out-of-order id assignment — rule 3
+permits spawning above the lowest live id in any order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import ConfigError
+from .task import Task, TaskBody
+
+
+def parallel_for(
+    n: int,
+    body: TaskBody,
+    *args: Any,
+    start_id: int = 1,
+    machine=None,
+    label: str = "",
+) -> list[Task]:
+    """Create ``n`` tasks ``body(tid, i, *args)`` with consecutive ids.
+
+    The loop index is passed as the first body argument after the task
+    id.  When ``machine`` is given the tasks are submitted immediately
+    (round-robin static assignment); otherwise the caller submits.
+    """
+    if n <= 0:
+        raise ConfigError("parallel_for needs at least one iteration")
+    tasks = [
+        Task(start_id + i, body, i, *args, label=label or f"pfor-{i}")
+        for i in range(n)
+    ]
+    if machine is not None:
+        machine.submit(tasks)
+    return tasks
+
+
+def spawn_tasks(
+    specs: Iterable[tuple[int, TaskBody, Sequence[Any]]],
+    machine=None,
+) -> list[Task]:
+    """Create tasks from ``(task_id, body, args)`` specs.
+
+    Ids may arrive in any order (out-of-order spawning); duplicates are
+    rejected here, and rule 3 (no id below the lowest live task) is
+    enforced by the tracker at submission.
+    """
+    tasks = []
+    seen: set[int] = set()
+    for task_id, body, args in specs:
+        if task_id in seen:
+            raise ConfigError(f"duplicate task id {task_id}")
+        seen.add(task_id)
+        tasks.append(Task(task_id, body, *args))
+    if machine is not None:
+        machine.submit(tasks)
+    return tasks

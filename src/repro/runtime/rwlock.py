@@ -1,0 +1,121 @@
+"""Simulated read-write lock (the unversioned baseline of Figure 8).
+
+The paper compares the versioned binary tree against "an unversioned
+binary tree protected by a read-write lock", noting the rwlock separates
+reads from writes — readers share, writers exclude — which eliminates
+synchronization inside the structure but also concurrency between the two
+classes.
+
+The lock word lives at a conventional address so acquisition traffic
+exercises the coherence protocol (the classic lock-line ping-pong).
+Grant policy is FIFO with reader batching: the queue is served in order,
+but consecutive readers at the front are granted together.  That is fair
+(no writer starvation) and matches common rwlock implementations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.machine import Machine
+
+
+class SimRWLock:
+    """A read-write lock living inside the simulated machine."""
+
+    def __init__(self, machine: "Machine", name: str = "rwlock"):
+        self.machine = machine
+        self.name = name
+        self.addr = machine.heap.alloc(64, align=64)  # own cache line
+        self._readers: set[int] = set()
+        self._writer: int | None = None
+        self._queue: deque[tuple[str, int, Callable[[int], None], int]] = deque()
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def reader_count(self) -> int:
+        return len(self._readers)
+
+    @property
+    def writer_core(self) -> int | None:
+        return self._writer
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    # -- acquisition ---------------------------------------------------------
+
+    def _lock_word_access(self, core_id: int) -> int:
+        """Touch the lock word with exclusive intent (coherence traffic)."""
+        return self.machine.hierarchy.access(core_id, self.addr, write=True)
+
+    def try_acquire(
+        self, core_id: int, mode: str, on_grant: Callable[[int], None]
+    ) -> int | None:
+        """Attempt to acquire in ``mode`` ('r' or 'w').
+
+        Returns the acquisition latency on immediate success, or ``None``
+        if the caller was queued — ``on_grant(latency)`` fires later.
+        """
+        if mode not in ("r", "w"):
+            raise SimulationError(f"bad rwlock mode {mode!r}")
+        stats = self.machine.stats
+        lat = self._lock_word_access(core_id)
+        if mode == "r":
+            # Readers may enter only when no writer holds or waits (FIFO:
+            # queued writers bar new readers, preventing writer starvation).
+            if self._writer is None and not self._queue:
+                self._readers.add(core_id)
+                stats.rwlock_read_acquires += 1
+                return lat
+        else:
+            if self._writer is None and not self._readers and not self._queue:
+                self._writer = core_id
+                stats.rwlock_write_acquires += 1
+                return lat
+        self._queue.append((mode, core_id, on_grant, self.machine.sim.now))
+        return None
+
+    def release(self, core_id: int, mode: str) -> int:
+        """Release the lock; grants queued waiters.  Returns latency."""
+        if mode == "r":
+            if core_id not in self._readers:
+                raise SimulationError(f"core {core_id} does not hold {self.name} read")
+            self._readers.discard(core_id)
+        else:
+            if self._writer != core_id:
+                raise SimulationError(f"core {core_id} does not hold {self.name} write")
+            self._writer = None
+        lat = self._lock_word_access(core_id)
+        self._grant()
+        return lat
+
+    def _grant(self) -> None:
+        """Serve the queue front: one writer, or a batch of readers."""
+        sim = self.machine.sim
+        stats = self.machine.stats
+        if self._writer is not None:
+            return
+        if self._queue and self._queue[0][0] == "w":
+            if self._readers:
+                return
+            mode, core_id, cb, enq_time = self._queue.popleft()
+            self._writer = core_id
+            stats.rwlock_write_acquires += 1
+            stats.rwlock_wait_cycles += sim.now - enq_time
+            grant_lat = self._lock_word_access(core_id)
+            sim.schedule(1, lambda cb=cb, lat=grant_lat: cb(lat))
+            return
+        while self._queue and self._queue[0][0] == "r":
+            mode, core_id, cb, enq_time = self._queue.popleft()
+            self._readers.add(core_id)
+            stats.rwlock_read_acquires += 1
+            stats.rwlock_wait_cycles += sim.now - enq_time
+            grant_lat = self._lock_word_access(core_id)
+            sim.schedule(1, lambda cb=cb, lat=grant_lat: cb(lat))

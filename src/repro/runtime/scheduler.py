@@ -1,0 +1,52 @@
+"""Static task-to-core assignment (paper, Section IV-A).
+
+"The task scheduler was implemented in software and used a static
+assignment of tasks to cores.  This policy imposes a minimal runtime
+overhead, but neglects load imbalance."
+
+Round-robin by task index is the canonical static policy and is what the
+pipelined workloads want: consecutive task ids land on different cores, so
+the hand-over-hand pipeline actually overlaps.  A block policy (contiguous
+chunks per core) is provided for comparison/ablation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import ConfigError
+from .task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Core
+
+
+class StaticScheduler:
+    """Distributes a task list over the cores before the run starts."""
+
+    POLICIES = ("round_robin", "block")
+
+    def __init__(self, policy: str = "round_robin"):
+        if policy not in self.POLICIES:
+            raise ConfigError(f"unknown scheduling policy {policy!r}")
+        self.policy = policy
+
+    def assign(self, tasks: Sequence[Task], cores: Sequence["Core"]) -> None:
+        """Enqueue every task on its statically chosen core."""
+        n = len(cores)
+        if n == 0:
+            raise ConfigError("no cores to schedule on")
+        if self.policy == "round_robin":
+            for i, task in enumerate(tasks):
+                cores[i % n].enqueue(task)
+        else:  # block
+            per = (len(tasks) + n - 1) // n
+            for i, task in enumerate(tasks):
+                cores[min(i // per, n - 1) if per else 0].enqueue(task)
+
+    def plan(self, num_tasks: int, num_cores: int) -> list[int]:
+        """Core index for each task (introspection/tests)."""
+        if self.policy == "round_robin":
+            return [i % num_cores for i in range(num_tasks)]
+        per = (num_tasks + num_cores - 1) // num_cores
+        return [min(i // per, num_cores - 1) if per else 0 for i in range(num_tasks)]

@@ -1,0 +1,144 @@
+"""Tasks and the GC progress-tracking contract (Section III-B).
+
+The garbage collector expects the runtime to obey three rules:
+
+1. tasks access versions using their task id, so version order matches
+   sequential program order;
+2. the memory system learns of task begin/end (TASK-BEGIN / TASK-END);
+3. no task is ever created with an id lower than the lowest active id
+   (out-of-order spawning above that bound is fine).
+
+:class:`TaskTracker` enforces rules 2 and 3 and exposes the oldest/youngest
+active ids the collector needs.  Rule 1 is a programming-model convention
+that the workloads follow (their version arguments are task ids).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from ..errors import SimulationError
+
+#: Cycles charged for TASK-BEGIN / TASK-END bookkeeping (the paper's static
+#: scheduler "imposes a minimal runtime overhead").
+TASK_BEGIN_CYCLES = 20
+TASK_END_CYCLES = 20
+
+TaskBody = Callable[..., Generator[tuple, Any, Any]]
+
+
+class Task:
+    """One unit of parallel work: an id plus a generator factory.
+
+    ``body(task_id, *args)`` must return a generator that yields micro-ops
+    (see :mod:`repro.ostruct.isa`).  The generator's return value is kept
+    as ``task.result`` for validation against sequential references.
+    """
+
+    __slots__ = ("task_id", "body", "args", "label", "result", "finished")
+
+    def __init__(self, task_id: int, body: TaskBody, *args: Any, label: str = ""):
+        if task_id < 0:
+            raise SimulationError("task ids must be non-negative")
+        self.task_id = task_id
+        self.body = body
+        self.args = args
+        self.label = label or body.__name__
+        self.result: Any = None
+        self.finished = False
+
+    def make_generator(self) -> Generator[tuple, Any, Any]:
+        return self.body(self.task_id, *self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Task {self.task_id} {self.label}>"
+
+
+class TaskTracker:
+    """Live-task window used by the garbage collector.
+
+    A task is *live* from creation (registration at submit time, which is
+    when the paper's runtime creates tasks in program order) until its
+    TASK-END.  Rule 3 is enforced at creation: no task may be created
+    below the lowest live id.  The GC's finalization bound uses the
+    lowest *live* id — a queued-but-unstarted task may still read old
+    versions, so it must hold back reclamation exactly like a running one.
+    """
+
+    def __init__(self) -> None:
+        self._live: set[int] = set()
+        self._started: set[int] = set()
+        self.max_seen: int = -1
+        self.begun: int = 0
+        self.ended: int = 0
+        #: Callbacks fired with the task id after a task ends (GC hooks in).
+        self.on_end: list[Callable[[int], None]] = []
+
+    @property
+    def active_ids(self) -> frozenset[int]:
+        """Tasks currently executing (begun, not ended)."""
+        return frozenset(self._started)
+
+    @property
+    def live_ids(self) -> frozenset[int]:
+        """Tasks created and not yet ended (includes queued ones)."""
+        return frozenset(self._live)
+
+    def register(self, task_id: int) -> None:
+        """Task creation (rule 3 checkpoint)."""
+        if task_id < 0:
+            raise SimulationError("task ids must be non-negative")
+        if task_id in self._live:
+            raise SimulationError(f"task {task_id} already live")
+        if self._live and task_id < min(self._live):
+            raise SimulationError(
+                f"rule 3 violation: task {task_id} created below the "
+                f"lowest live task {min(self._live)}"
+            )
+        self._live.add(task_id)
+
+    def lowest_active(self) -> int | None:
+        """Lowest live id (the GC's finalization bound)."""
+        return min(self._live) if self._live else None
+
+    def highest_active(self) -> int | None:
+        """Highest id that has begun executing and not ended."""
+        return max(self._started) if self._started else None
+
+    def begin(self, task_id: int) -> None:
+        """TASK-BEGIN: the task starts executing.
+
+        Auto-registers tasks that were not created via :meth:`register`
+        (direct ISA use), which applies the rule 3 check here instead.
+        """
+        if task_id not in self._live:
+            self.register(task_id)
+        if task_id in self._started:
+            raise SimulationError(f"task {task_id} already active")
+        self._started.add(task_id)
+        self.max_seen = max(self.max_seen, task_id)
+        self.begun += 1
+
+    def end(self, task_id: int) -> None:
+        """TASK-END: removes the task and fires GC hooks."""
+        if task_id not in self._started:
+            raise SimulationError(f"task {task_id} ended but was not active")
+        self._started.discard(task_id)
+        self._live.discard(task_id)
+        self.ended += 1
+        for fn in self.on_end:
+            fn(task_id)
+
+
+def make_tasks(
+    bodies: Iterable[tuple[TaskBody, tuple]],
+    start_id: int = 0,
+    stride: int = 1,
+) -> list[Task]:
+    """Number a sequence of ``(body, args)`` pairs with consecutive ids."""
+    tasks = []
+    tid = start_id
+    for body, args in bodies:
+        tasks.append(Task(tid, body, *args))
+        tid += stride
+    return tasks

@@ -1,0 +1,59 @@
+"""The high-level versioned-handle API of Figure 1 (library column).
+
+A :class:`Versioned` wraps one O-structure address and provides the
+``versioned<T>`` methods the paper's library API exposes —
+``load_ver`` / ``load_last`` / ``store_ver`` / ``lock_load_ver`` /
+``lock_load_last`` / ``unlock_ver``.  Task bodies are generators, so each
+method *returns a micro-op tuple* which the body yields to the core::
+
+    def insert_end(tid, root):
+        ver, cur = yield root.lock_load_last(tid)
+        ...
+        yield root.unlock_ver(tid, tid + 1)
+
+This is the same relationship the paper draws between its library API and
+the low-level instructions (cf. OpenMP over pthreads): the handle is sugar
+over :mod:`repro.ostruct.isa`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..ostruct import isa
+
+
+class Versioned:
+    """Handle over one versioned memory word (an O-structure root)."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def load_ver(self, version: int) -> tuple:
+        """Exact-version load; yields the value."""
+        return isa.load_version(self.addr, version)
+
+    def load_last(self, cap: int) -> tuple:
+        """Capped load; yields ``(version, value)``."""
+        return isa.load_latest(self.addr, cap)
+
+    def store_ver(self, version: int, value: Any) -> tuple:
+        """Create a new version."""
+        return isa.store_version(self.addr, version, value)
+
+    def lock_load_ver(self, version: int) -> tuple:
+        """Exact-version load + lock; yields the value."""
+        return isa.lock_load_version(self.addr, version)
+
+    def lock_load_last(self, cap: int) -> tuple:
+        """Capped load + lock; yields ``(version, value)``."""
+        return isa.lock_load_latest(self.addr, cap)
+
+    def unlock_ver(self, version: int, new_version: int | None = None) -> tuple:
+        """Unlock; optionally rename the value to ``new_version``."""
+        return isa.unlock_version(self.addr, version, new_version)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Versioned @0x{self.addr:x}>"

@@ -1,0 +1,29 @@
+"""Trace-driven multicore simulator substrate.
+
+This subpackage is the gem5 stand-in: a deterministic discrete-event
+engine (:mod:`repro.sim.engine`), a Table II memory hierarchy
+(:mod:`repro.sim.cache`, :mod:`repro.sim.dram`, :mod:`repro.sim.coherence`,
+:mod:`repro.sim.hierarchy`), in-order cores that execute generator-based
+task programs (:mod:`repro.sim.core`), and the machine assembly with
+deadlock detection (:mod:`repro.sim.machine`).
+"""
+
+from .engine import Simulator
+from .stats import SimStats
+from .cache import Cache
+from .dram import Dram
+from .coherence import Directory
+from .hierarchy import MemoryHierarchy
+from .core import Core
+from .machine import Machine
+
+__all__ = [
+    "Simulator",
+    "SimStats",
+    "Cache",
+    "Dram",
+    "Directory",
+    "MemoryHierarchy",
+    "Core",
+    "Machine",
+]

@@ -1,0 +1,120 @@
+"""Set-associative cache with LRU replacement.
+
+Used for both the per-core L1s (32 KB, 8-way) and the shared L2
+(1.5 MB x cores, 16-way).  The cache tracks block residency and
+recency only; data is held functionally by higher layers.  An optional
+``evict_hook`` lets the O-structure manager discard compressed
+version-block state whenever its backing line leaves the cache (by
+eviction *or* coherence invalidation), mirroring the paper's "discard the
+compressed version block on a coherence message" policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import CacheConfig
+
+
+class Cache:
+    """One cache level.  Addresses are byte addresses; blocks are 64 B."""
+
+    __slots__ = (
+        "config",
+        "name",
+        "_sets",
+        "_dirty",
+        "_tick",
+        "_num_sets",
+        "_block_shift",
+        "evict_hook",
+    )
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self._num_sets = config.num_sets
+        self._block_shift = config.block_bytes.bit_length() - 1
+        # One dict per set: block_number -> last-use tick (LRU bookkeeping).
+        self._sets: list[dict[int, int]] = [{} for _ in range(self._num_sets)]
+        self._dirty: set[int] = set()
+        self._tick = 0
+        #: Called with the block number whenever a block leaves this cache.
+        self.evict_hook: Callable[[int], None] | None = None
+
+    # -- address helpers ----------------------------------------------------
+
+    def block_of(self, addr: int) -> int:
+        """Block number containing byte address ``addr``."""
+        return addr >> self._block_shift
+
+    def _set_of(self, block: int) -> dict[int, int]:
+        return self._sets[block % self._num_sets]
+
+    # -- cache operations ---------------------------------------------------
+
+    def lookup(self, block: int) -> bool:
+        """True if ``block`` is resident; updates recency on a hit."""
+        s = self._set_of(block)
+        if block in s:
+            self._tick += 1
+            s[block] = self._tick
+            return True
+        return False
+
+    def contains(self, block: int) -> bool:
+        """Residency check without touching recency."""
+        return block in self._set_of(block)
+
+    def insert(self, block: int, dirty: bool = False) -> int | None:
+        """Install ``block``; returns the evicted block number, if any."""
+        s = self._set_of(block)
+        self._tick += 1
+        victim: int | None = None
+        if block not in s and len(s) >= self.config.ways:
+            victim = min(s, key=s.__getitem__)
+            del s[victim]
+            self._dirty.discard(victim)
+            if self.evict_hook is not None:
+                self.evict_hook(victim)
+        s[block] = self._tick
+        if dirty:
+            self._dirty.add(block)
+        return victim
+
+    def mark_dirty(self, block: int) -> None:
+        if self.contains(block):
+            self._dirty.add(block)
+
+    def is_dirty(self, block: int) -> bool:
+        return block in self._dirty
+
+    def invalidate(self, block: int) -> bool:
+        """Remove ``block`` if present; returns whether it was resident."""
+        s = self._set_of(block)
+        if block in s:
+            del s[block]
+            self._dirty.discard(block)
+            if self.evict_hook is not None:
+                self.evict_hook(block)
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache (used between experiment phases)."""
+        for s in self._sets:
+            for block in list(s):
+                del s[block]
+                if self.evict_hook is not None:
+                    self.evict_hook(block)
+        self._dirty.clear()
+
+    @property
+    def resident_blocks(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Cache {self.name} {self.config.size_bytes // 1024}KiB "
+            f"{self.config.ways}-way, {self.resident_blocks} blocks resident>"
+        )

@@ -1,0 +1,74 @@
+"""MESI-flavoured directory coherence among the private L1 caches.
+
+The directory tracks, per block, which cores' L1s hold a copy.  A write
+invalidates all other sharers (charging the remote penalty once, as the
+invalidations are broadcast in parallel).  The paper extends coherence so
+messages for version-block lines also carry the physical address of the
+version-block list head; here that is modelled by the eviction/invalidation
+hooks on the L1s, which discard the corresponding compressed version block
+(Section III-A: "the simplest course of action is to discard the compressed
+version block for that O-structure").
+"""
+
+from __future__ import annotations
+
+from .cache import Cache
+from .stats import SimStats
+
+
+class Directory:
+    """Per-block sharer tracking over the private L1s."""
+
+    __slots__ = ("_l1s", "_sharers", "_stats", "remote_penalty")
+
+    def __init__(self, l1s: list[Cache], stats: SimStats, remote_penalty: int):
+        self._l1s = l1s
+        self._sharers: dict[int, set[int]] = {}
+        self._stats = stats
+        self.remote_penalty = remote_penalty
+
+    def sharers_of(self, block: int) -> frozenset[int]:
+        """The set of core ids whose L1 currently shares ``block``."""
+        return frozenset(self._sharers.get(block, ()))
+
+    def note_fill(self, core_id: int, block: int) -> None:
+        """Record that ``core_id``'s L1 now holds ``block``."""
+        self._sharers.setdefault(block, set()).add(core_id)
+
+    def note_eviction(self, core_id: int, block: int) -> None:
+        """Record that ``core_id``'s L1 dropped ``block``."""
+        s = self._sharers.get(block)
+        if s is not None:
+            s.discard(core_id)
+            if not s:
+                del self._sharers[block]
+
+    def acquire_exclusive(self, core_id: int, block: int) -> int:
+        """Invalidate all other sharers of ``block``; returns extra latency.
+
+        Invalidation messages go out in parallel, so the latency cost is a
+        single remote round-trip when at least one remote sharer existed,
+        and zero otherwise.
+        """
+        s = self._sharers.get(block)
+        if not s:
+            return 0
+        others = [c for c in s if c != core_id]
+        if not others:
+            return 0
+        for c in others:
+            # invalidate() fires the L1 evict hook, which already calls
+            # note_eviction and may delete the sharer entry entirely.
+            self._l1s[c].invalidate(block)
+            self._stats.invalidations += 1
+            s.discard(c)
+        if not s:
+            self._sharers.pop(block, None)
+        return self.remote_penalty
+
+    def has_remote_copy(self, core_id: int, block: int) -> bool:
+        """True if any core other than ``core_id`` shares ``block``."""
+        s = self._sharers.get(block)
+        if not s:
+            return False
+        return any(c != core_id for c in s)

@@ -1,0 +1,216 @@
+"""In-order core model executing generator-based task programs.
+
+The paper's platform is a 2-way in-order ARM core (Table II).  The model:
+
+- ``compute n`` retires ``n`` ALU instructions at ``issue_width`` per
+  cycle;
+- conventional loads/stores are blocking and charge the hierarchy latency;
+- versioned operations go through the O-structure manager; a
+  :class:`~repro.ostruct.manager.StallSignal` parks the whole core (it is
+  in-order) on the address's waiter queue, and the operation retries when
+  the address is notified;
+- the core issues TASK-BEGIN / TASK-END around each task automatically
+  (programs may also issue them explicitly for nested structuring).
+
+Each core owns a FIFO of statically assigned tasks and runs them to
+completion in order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..errors import SimulationError
+from ..ostruct import isa
+from ..ostruct.manager import StallSignal
+from ..runtime.task import TASK_BEGIN_CYCLES, TASK_END_CYCLES, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+
+class Core:
+    """One in-order core; drives task generators through the machine."""
+
+    def __init__(self, core_id: int, machine: "Machine"):
+        self.core_id = core_id
+        self.machine = machine
+        self.sim = machine.sim
+        self.queue: deque[Task] = deque()
+        self.current: Task | None = None
+        self._gen: Generator[tuple, Any, Any] | None = None
+        self._started = False
+        # Stall bookkeeping for the op currently blocking this core.
+        self._blocked_op: tuple | None = None
+        self._block_start: int = 0
+        self.busy_cycles = 0
+
+    # -- task intake ----------------------------------------------------------
+
+    def enqueue(self, task: Task) -> None:
+        self.queue.append(task)
+
+    def start(self) -> None:
+        """Kick the core; called once by the machine at run start."""
+        if self._started:
+            raise SimulationError(f"core {self.core_id} already started")
+        self._started = True
+        if self.queue:
+            self.sim.schedule(0, self._begin_next)
+
+    @property
+    def idle(self) -> bool:
+        return self.current is None and not self.queue
+
+    @property
+    def blocked(self) -> bool:
+        return self._blocked_op is not None
+
+    def describe_block(self) -> str:
+        op = self._blocked_op
+        task = self.current
+        return (
+            f"core {self.core_id} task {task.task_id if task else '?'} "
+            f"blocked on {op[0]} @0x{op[1]:x} since cycle {self._block_start}"
+            if op
+            else f"core {self.core_id} not blocked"
+        )
+
+    # -- task lifecycle ---------------------------------------------------------
+
+    def _begin_next(self) -> None:
+        task = self.queue.popleft()
+        self.current = task
+        self._gen = task.make_generator()
+        self.machine.tracker.begin(task.task_id)
+        self.machine.stats.tasks_started += 1
+        self.sim.schedule(TASK_BEGIN_CYCLES, lambda: self._advance(None))
+
+    def _finish_task(self, result: Any) -> None:
+        task = self.current
+        assert task is not None
+        task.result = result
+        task.finished = True
+        self.machine.tracker.end(task.task_id)
+        self.machine.stats.tasks_finished += 1
+        self.current = None
+        self._gen = None
+        if self.queue:
+            self.sim.schedule(TASK_END_CYCLES, self._begin_next)
+
+    # -- execution --------------------------------------------------------------
+
+    def _advance(self, send_value: Any) -> None:
+        assert self._gen is not None
+        try:
+            op = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finish_task(stop.value)
+            return
+        self._execute(op, retry=False)
+
+    def _execute(self, op: tuple, retry: bool) -> None:
+        kind = op[0]
+        if not retry and kind in isa.VERSIONED_OPS:
+            self.machine.stats.versioned_ops += 1
+        try:
+            latency, result = self._dispatch(op)
+        except StallSignal as sig:
+            hook = self.machine.trace_hook
+            if hook is not None:
+                hook(self.core_id, self._current_tid(), op, 0, True)
+            self._park(op, sig, retry)
+            return
+        hook = self.machine.trace_hook
+        if hook is not None:
+            hook(self.core_id, self._current_tid(), op, latency, False)
+        if result is _RW_PARKED:
+            # Queued on a rwlock; the grant callback resumes the core.
+            return
+        if self._blocked_op is not None:
+            # A previously stalled op finally succeeded.
+            stall = self.sim.now - self._block_start
+            self.machine.stats.versioned_stall_cycles += stall
+            self._blocked_op = None
+        self.busy_cycles += latency
+        self.sim.schedule(latency, lambda: self._advance(result))
+
+    def _park(self, op: tuple, sig: StallSignal, retry: bool) -> None:
+        if self._blocked_op is None:
+            # First stall of this op instance.
+            self.machine.stats.versioned_stalls += 1
+            if sig.vaddr in self.machine.manager.roots:
+                self.machine.stats.root_load_stalls += 1
+            self._block_start = self.sim.now
+        self._blocked_op = op
+        self.machine.manager.add_waiter(sig.vaddr, lambda: self._execute(op, retry=True))
+
+    # -- op dispatch --------------------------------------------------------------
+
+    def _dispatch(self, op: tuple) -> tuple[int, Any]:
+        m = self.machine
+        kind = op[0]
+        cid = self.core_id
+        if kind == isa.COMPUTE:
+            n = op[1]
+            m.stats.compute_ops += n
+            return -(-n // m.config.issue_width), None  # ceil division
+        if kind == isa.LOAD:
+            addr = op[1]
+            m.page_table.check_conventional(addr)
+            m.stats.loads += 1
+            return m.hierarchy.access(cid, addr), m.mem.get(addr, 0)
+        if kind == isa.STORE:
+            addr, value = op[1], op[2]
+            m.page_table.check_conventional(addr)
+            m.stats.stores += 1
+            m.mem[addr] = value
+            return m.hierarchy.access(cid, addr, write=True), None
+        if kind == isa.LOAD_VERSION:
+            return m.manager.load_version(cid, op[1], op[2])
+        if kind == isa.LOAD_LATEST:
+            return m.manager.load_latest(cid, op[1], op[2])
+        if kind == isa.STORE_VERSION:
+            tid = self.current.task_id if self.current else None
+            return m.manager.store_version(cid, op[1], op[2], op[3], tid)
+        if kind == isa.LOCK_LOAD_VERSION:
+            return m.manager.lock_load_version(cid, op[1], op[2], self._task_id())
+        if kind == isa.LOCK_LOAD_LATEST:
+            return m.manager.lock_load_latest(cid, op[1], op[2], self._task_id())
+        if kind == isa.UNLOCK_VERSION:
+            return m.manager.unlock_version(cid, op[1], op[2], self._task_id(), op[3])
+        if kind == isa.TASK_BEGIN:
+            m.tracker.begin(op[1])
+            return TASK_BEGIN_CYCLES, None
+        if kind == isa.TASK_END:
+            m.tracker.end(op[1])
+            return TASK_END_CYCLES, None
+        if kind == isa.RW_ACQUIRE:
+            return self._rw_acquire(op[1], op[2])
+        if kind == isa.RW_RELEASE:
+            return op[1].release(cid, op[2]), None
+        raise SimulationError(f"unknown micro-op {kind!r}")
+
+    def _task_id(self) -> int:
+        if self.current is None:
+            raise SimulationError("locking op outside a task context")
+        return self.current.task_id
+
+    def _current_tid(self) -> int | None:
+        return self.current.task_id if self.current is not None else None
+
+    def _rw_acquire(self, lock, mode: str) -> tuple[int, Any]:
+        granted = lock.try_acquire(
+            self.core_id, mode, lambda lat: self.sim.schedule(lat, lambda: self._advance(None))
+        )
+        if granted is None:
+            # Parked in the lock's queue; continuation fires on grant.
+            # Raising StallSignal would double-register; instead return a
+            # sentinel latency of 0 with a no-op continuation suppressed.
+            return 0, _RW_PARKED
+        return granted, None
+
+
+#: Sentinel: the rwlock queued us; the grant callback resumes the core.
+_RW_PARKED = object()

@@ -1,0 +1,28 @@
+"""Main-memory latency model.
+
+The paper's platform has 64 GB of DRAM with a flat 60 ns access latency
+(Table II); at 2 GHz that is 120 core cycles.  Data itself is held
+functionally elsewhere (the simulated heap and the version-block store),
+so this model only accounts for time and traffic.
+"""
+
+from __future__ import annotations
+
+from .stats import SimStats
+
+
+class Dram:
+    """Flat-latency main memory."""
+
+    __slots__ = ("latency", "_stats")
+
+    def __init__(self, latency_cycles: int, stats: SimStats):
+        if latency_cycles < 0:
+            raise ValueError("DRAM latency must be non-negative")
+        self.latency = latency_cycles
+        self._stats = stats
+
+    def access(self) -> int:
+        """Perform one access; returns its latency in cycles."""
+        self._stats.dram_accesses += 1
+        return self.latency

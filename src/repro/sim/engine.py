@@ -1,0 +1,97 @@
+"""Deterministic discrete-event simulation kernel.
+
+Everything in the simulated machine — core micro-op retirement, version
+waiter wake-ups, garbage-collection phases — is an event on one global
+heap ordered by ``(time, sequence)``.  The sequence number makes event
+ordering total and therefore the whole simulation reproducible: two runs
+with the same inputs execute events in the same order.
+
+The kernel is intentionally tiny and allocation-light; per the HPC guides,
+the hot loop avoids attribute lookups and object churn (events are plain
+tuples on a :mod:`heapq`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+
+class Simulator:
+    """A global-clock discrete-event scheduler.
+
+    Time is measured in core clock cycles.  Callbacks receive no arguments;
+    closures capture whatever state they need.  ``schedule`` may be called
+    from inside callbacks (including for delay 0, which runs later in the
+    same cycle but after all previously scheduled same-cycle events).
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_running")
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Callable[[], Any]]] = []
+        self._seq: int = 0
+        self._running = False
+
+    def schedule(self, delay: int, fn: Callable[[], Any]) -> None:
+        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+
+    def schedule_at(self, time: int, fn: Callable[[], Any]) -> None:
+        """Schedule ``fn`` at an absolute cycle count."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, already at {self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn))
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Drain the event heap.
+
+        Runs until the heap is empty, the clock would pass ``until``, or
+        ``max_events`` events have fired.  Returns the number of events
+        executed.  Re-entrant calls are rejected — callbacks must schedule,
+        not recurse into the engine.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
+        try:
+            while heap:
+                time, _, fn = heap[0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                pop(heap)
+                self.now = time
+                fn()
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def step(self) -> bool:
+        """Execute exactly one event.  Returns False if none was pending."""
+        if not self._heap:
+            return False
+        time, _, fn = heapq.heappop(self._heap)
+        self.now = time
+        fn()
+        return True

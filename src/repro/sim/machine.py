@@ -1,0 +1,182 @@
+"""Machine assembly: cores + memory system + O-structure subsystem.
+
+:class:`Machine` wires every component of the simulated platform together
+and is the main entry point of the library::
+
+    from repro import Machine, MachineConfig
+
+    machine = Machine(MachineConfig(num_cores=8))
+    machine.submit(tasks)
+    stats = machine.run()
+
+A machine is single-use: build, submit, run, inspect stats.  ``run``
+drains the event heap and then checks that every task finished — if cores
+are still parked on version waiter queues or rwlock queues, the run
+deadlocked and a :class:`~repro.errors.DeadlockError` describes exactly
+who was waiting on what.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Sequence
+
+from ..config import MachineConfig
+from ..errors import DeadlockError, SimulationError
+from ..ostruct.free_list import FreeList
+from ..ostruct.gc import GarbageCollector
+from ..ostruct.manager import OStructureManager
+from ..ostruct.page_table import PageTable
+from ..runtime.allocator import VERSION_BLOCK_BASE, SimHeap
+from ..runtime.rwlock import SimRWLock
+from ..runtime.scheduler import StaticScheduler
+from ..runtime.task import Task, TaskTracker
+from .core import Core
+from .engine import Simulator
+from .hierarchy import MemoryHierarchy
+from .stats import SimStats
+
+
+class Machine:
+    """The full simulated platform of Table II plus O-structure support."""
+
+    def __init__(self, config: MachineConfig | None = None):
+        self.config = config or MachineConfig()
+        self.sim = Simulator()
+        self.stats = SimStats()
+        self.hierarchy = MemoryHierarchy(self.config, self.stats)
+        self.page_table = PageTable()
+        self.heap = SimHeap(self.page_table)
+        self.mem: dict[int, Any] = {}
+        self.tracker = TaskTracker()
+        self.free_list = FreeList(
+            base_paddr=VERSION_BLOCK_BASE,
+            initial_blocks=self.config.free_list_blocks,
+            refill_blocks=self.config.refill_blocks,
+            max_refills=self.config.free_list_refills,
+            stats=self.stats,
+            on_refill_page=self.page_table.mark_versioned,
+        )
+        self.gc = GarbageCollector(
+            free_list=self.free_list,
+            tracker=self.tracker,
+            hierarchy=self.hierarchy,
+            stats=self.stats,
+            watermark=self.config.gc_watermark,
+        )
+        self.manager = OStructureManager(
+            config=self.config,
+            sim=self.sim,
+            hierarchy=self.hierarchy,
+            page_table=self.page_table,
+            free_list=self.free_list,
+            gc=self.gc,
+            stats=self.stats,
+        )
+        self.cores = [Core(i, self) for i in range(self.config.num_cores)]
+        #: Optional ``fn(core, task, op_tuple, latency, stalled)`` called
+        #: for every retired (or stalled) micro-op; see repro.sim.trace.
+        self.trace_hook = None
+        self._ran = False
+        self._submitted = False
+
+    # -- convenience constructors ------------------------------------------------
+
+    def new_rwlock(self, name: str = "rwlock") -> SimRWLock:
+        return SimRWLock(self, name)
+
+    # -- task submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        tasks: Sequence[Task],
+        scheduler: StaticScheduler | None = None,
+    ) -> None:
+        """Statically assign ``tasks`` to cores (round-robin by default).
+
+        Registers every task with the tracker in id order — the paper's
+        runtime creates tasks in program order, which is what satisfies
+        GC rule 3 (no creation below the lowest live id).
+        """
+        for task in sorted(tasks, key=lambda t: t.task_id):
+            self.tracker.register(task.task_id)
+        (scheduler or StaticScheduler()).assign(tasks, self.cores)
+        self._submitted = True
+
+    def submit_main(
+        self, program: Callable[[int], Generator[tuple, Any, Any]], task_id: int = 0
+    ) -> Task:
+        """Submit a single main-program generator on core 0.
+
+        Used for sequential (unversioned or versioned) reference runs.
+        """
+        task = Task(task_id, program)
+        self.tracker.register(task.task_id)
+        self.cores[0].enqueue(task)
+        self._submitted = True
+        return task
+
+    # -- running ----------------------------------------------------------------------
+
+    def run(self, max_cycles: int | None = None) -> SimStats:
+        """Execute to completion; returns the stats object."""
+        if self._ran:
+            raise SimulationError("Machine.run() may only be called once")
+        if not self._submitted:
+            raise SimulationError("no tasks submitted")
+        self._ran = True
+        for core in self.cores:
+            core.start()
+        self.sim.run(until=max_cycles)
+        self._check_completion(max_cycles)
+        self.stats.cycles = self.sim.now
+        for core in self.cores:
+            self.stats.per_core_cycles[core.core_id] = core.busy_cycles
+        return self.stats
+
+    def _check_completion(self, max_cycles: int | None) -> None:
+        unfinished = [c for c in self.cores if not c.idle]
+        if not unfinished:
+            return
+        if max_cycles is not None and self.sim.pending_events:
+            return  # stopped by the cycle limit, not a deadlock
+        blocked = []
+        for core in unfinished:
+            if core.blocked:
+                blocked.append(core.describe_block())
+            elif core.current is not None:
+                blocked.append(
+                    f"core {core.core_id} task {core.current.task_id} parked "
+                    f"(rwlock queue or un-woken waiter)"
+                )
+            else:
+                blocked.append(f"core {core.core_id} has queued tasks but never ran")
+        blocked.extend(self.manager.blocked_waiter_report())
+        raise DeadlockError(blocked)
+
+    # -- derived results ------------------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        return self.sim.now
+
+    def seconds(self) -> float:
+        """Simulated wall-clock time at the configured frequency."""
+        return self.sim.now / (self.config.clock_ghz * 1e9)
+
+
+def run_tasks(
+    config: MachineConfig,
+    task_factory: Callable[["Machine"], Iterable[Task]],
+    scheduler: StaticScheduler | None = None,
+    max_cycles: int | None = None,
+) -> tuple[SimStats, list[Task]]:
+    """Build a machine, materialise tasks, run, return (stats, tasks).
+
+    ``task_factory`` receives the machine (so workloads can allocate heap
+    memory and register roots) and returns the task list.
+    """
+    machine = Machine(config)
+    tasks = list(task_factory(machine))
+    machine.submit(tasks, scheduler)
+    stats = machine.run(max_cycles)
+    return stats, tasks

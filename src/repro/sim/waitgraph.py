@@ -1,0 +1,124 @@
+"""Wait-for graph construction over a (possibly deadlocked) machine.
+
+When a versioned-memory protocol deadlocks, the question is always *who
+is waiting on whom*.  This module reconstructs the wait-for relation
+from machine state:
+
+- a blocked core waits on an O-structure address (its StallSignal);
+- that address is "held" by whichever tasks currently lock the version
+  the waiter needs (or by nobody, if the version simply does not exist —
+  a *missing-producer* wait, which is an edge to the void);
+- task → core ownership closes the cycle.
+
+``build_wait_graph`` returns the edges; ``find_cycles`` reports circular
+waits (true deadlocks), distinguishing them from missing-producer hangs.
+networkx does the cycle detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+
+@dataclass(frozen=True)
+class WaitEdge:
+    """One blocked-core observation."""
+
+    waiter_core: int
+    waiter_task: int | None
+    op: str
+    vaddr: int
+    #: Tasks holding locks on the version(s) the waiter needs; empty for
+    #: a missing-producer wait.
+    holders: frozenset[int]
+
+    def describe(self) -> str:
+        if self.holders:
+            held = ", ".join(f"task {t}" for t in sorted(self.holders))
+            return (
+                f"core {self.waiter_core} (task {self.waiter_task}) waits on "
+                f"0x{self.vaddr:x} [{self.op}] held by {held}"
+            )
+        return (
+            f"core {self.waiter_core} (task {self.waiter_task}) waits on "
+            f"0x{self.vaddr:x} [{self.op}] — no producer (version never created)"
+        )
+
+
+def _blocking_holders(machine: "Machine", vaddr: int, op: tuple) -> frozenset[int]:
+    """Which tasks hold locks that block this particular operation."""
+    lst = machine.manager.lists.get(vaddr)
+    if lst is None or lst.head is None:
+        return frozenset()
+    kind = op[0]
+    holders: set[int] = set()
+    if kind in ("load_version", "lock_load_version", "unlock_version"):
+        block, _ = lst.find_exact(op[2])
+        if block is not None and block.locked_by is not None:
+            holders.add(block.locked_by)
+    elif kind in ("load_latest", "lock_load_latest"):
+        block, _ = lst.find_latest(op[2])
+        if block is not None and block.locked_by is not None:
+            holders.add(block.locked_by)
+    return frozenset(holders)
+
+
+def build_wait_graph(machine: "Machine") -> list[WaitEdge]:
+    """Observed wait edges for every currently blocked core."""
+    edges = []
+    for core in machine.cores:
+        if not core.blocked:
+            continue
+        op = core._blocked_op
+        assert op is not None
+        vaddr = op[1]
+        edges.append(
+            WaitEdge(
+                waiter_core=core.core_id,
+                waiter_task=core.current.task_id if core.current else None,
+                op=op[0],
+                vaddr=vaddr,
+                holders=_blocking_holders(machine, vaddr, op),
+            )
+        )
+    return edges
+
+
+def find_cycles(machine: "Machine") -> list[list[int]]:
+    """Circular waits among tasks (each cycle is a list of task ids).
+
+    Builds the task-level wait-for digraph — waiter task → holder task —
+    and returns its simple cycles.  An empty result with blocked cores
+    present means the hang is a missing producer, not a lock cycle.
+    """
+    graph = nx.DiGraph()
+    for edge in build_wait_graph(machine):
+        if edge.waiter_task is None:
+            continue
+        for holder in edge.holders:
+            graph.add_edge(edge.waiter_task, holder)
+    return [sorted(c) for c in nx.simple_cycles(graph)]
+
+
+def post_mortem(machine: "Machine") -> str:
+    """Human-readable deadlock report (used by examples and tests)."""
+    edges = build_wait_graph(machine)
+    if not edges:
+        return "no blocked cores"
+    lines = [e.describe() for e in edges]
+    cycles = find_cycles(machine)
+    if cycles:
+        for cycle in cycles:
+            lines.append(
+                "LOCK CYCLE: " + " -> ".join(f"task {t}" for t in cycle)
+                + f" -> task {cycle[0]}"
+            )
+    else:
+        lines.append("no lock cycle: missing producer(s) — check version wiring")
+    return "\n".join(lines)

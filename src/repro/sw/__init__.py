@@ -1,0 +1,20 @@
+"""Software O-structure runtime (the paper's Section II-C prototype).
+
+The paper notes O-structures "can be implemented purely as a software
+runtime abstraction; we've indeed started with a software prototype",
+with the caveat that per-operation logic costs too much without hardware
+support.  This subpackage is that prototype: a thread-safe O-structure
+with the full Section II-A semantics, usable from real Python threads —
+blocking loads, exact/capped versions, version locking, renaming unlocks,
+and a shadowed-list garbage collector driven by task progress.
+
+It serves two purposes: executable documentation of the semantics under
+true concurrency (the hypothesis-driven tests hammer it from many
+threads), and a functional fallback for code that wants versioned memory
+without the simulator.
+"""
+
+from .ostructure import SWOStructure
+from .runtime import SWRuntime, SWTaskContext
+
+__all__ = ["SWOStructure", "SWRuntime", "SWTaskContext"]

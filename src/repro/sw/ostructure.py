@@ -1,0 +1,173 @@
+"""A thread-safe software O-structure.
+
+One :class:`SWOStructure` is one versioned memory location.  All seven
+operations of Section II-A are provided with blocking semantics delivered
+through a condition variable: loads of uncreated versions wait, loads of
+locked versions wait, lock attempts on locked versions wait.  Timeouts
+turn latent deadlocks into diagnosable errors instead of hangs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..errors import (
+    NotLockedError,
+    SimulationError,
+    VersionExistsError,
+)
+
+
+class SWTimeout(SimulationError):
+    """A blocking operation exceeded its timeout (likely a protocol bug)."""
+
+
+class SWOStructure:
+    """One software-versioned memory location."""
+
+    def __init__(self, name: str = "ostruct"):
+        self.name = name
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        #: version -> value (versions are immutable once created).
+        self._versions: dict[int, Any] = {}
+        #: version -> locking task id.
+        self._locked: dict[int, int] = {}
+
+    # -- helpers -------------------------------------------------------------
+
+    def _latest_at_or_below(self, cap: int) -> int | None:
+        best = None
+        for v in self._versions:
+            if v <= cap and (best is None or v > best):
+                best = v
+        return best
+
+    def _wait(self, predicate, timeout: float) -> Any:
+        """Wait until ``predicate()`` returns non-None; condvar is held."""
+        deadline = None
+        result = predicate()
+        while result is None:
+            if not self._changed.wait(timeout=timeout):
+                raise SWTimeout(
+                    f"{self.name}: blocked operation timed out after {timeout}s"
+                )
+            result = predicate()
+        return result
+
+    # -- the seven operations -----------------------------------------------------
+
+    def store_version(self, version: int, value: Any) -> None:
+        """STORE-VERSION: create an immutable version."""
+        with self._changed:
+            if version in self._versions:
+                raise VersionExistsError(
+                    f"{self.name}: version {version} already exists"
+                )
+            self._versions[version] = value
+            self._changed.notify_all()
+
+    def load_version(self, version: int, timeout: float = 10.0) -> Any:
+        """LOAD-VERSION: blocks until ``version`` exists and is unlocked."""
+        with self._changed:
+
+            def ready():
+                if version in self._versions and version not in self._locked:
+                    return (self._versions[version],)
+                return None
+
+            return self._wait(ready, timeout)[0]
+
+    def load_latest(self, cap: int, timeout: float = 10.0) -> tuple[int, Any]:
+        """LOAD-LATEST: highest version <= cap, blocking while locked.
+
+        Re-evaluates after every change, so a version created while
+        waiting is picked up (the renaming-unlock handoff).
+        """
+        with self._changed:
+
+            def ready():
+                v = self._latest_at_or_below(cap)
+                if v is None or v in self._locked:
+                    return None
+                return (v, self._versions[v])
+
+            return self._wait(ready, timeout)
+
+    def lock_load_version(self, version: int, task_id: int, timeout: float = 10.0) -> Any:
+        """LOCK-LOAD-VERSION: exact load plus lock (atomic at grant time)."""
+        with self._changed:
+
+            def ready():
+                if version in self._versions and version not in self._locked:
+                    return (self._versions[version],)
+                return None
+
+            value = self._wait(ready, timeout)[0]
+            self._locked[version] = task_id
+            return value
+
+    def lock_load_latest(
+        self, cap: int, task_id: int, timeout: float = 10.0
+    ) -> tuple[int, Any]:
+        """LOCK-LOAD-LATEST: capped load plus lock."""
+        with self._changed:
+
+            def ready():
+                v = self._latest_at_or_below(cap)
+                if v is None or v in self._locked:
+                    return None
+                return (v, self._versions[v])
+
+            version, value = self._wait(ready, timeout)
+            self._locked[version] = task_id
+            return version, value
+
+    def unlock_version(
+        self, version: int, task_id: int, new_version: int | None = None
+    ) -> None:
+        """UNLOCK-VERSION: release; optionally rename to ``new_version``."""
+        with self._changed:
+            if self._locked.get(version) != task_id:
+                raise NotLockedError(
+                    f"{self.name}: task {task_id} does not hold version {version}"
+                )
+            del self._locked[version]
+            if new_version is not None:
+                if new_version in self._versions:
+                    raise VersionExistsError(
+                        f"{self.name}: rename target {new_version} already exists"
+                    )
+                self._versions[new_version] = self._versions[version]
+            self._changed.notify_all()
+
+    # -- introspection / GC support --------------------------------------------------
+
+    def versions(self) -> list[int]:
+        with self._lock:
+            return sorted(self._versions)
+
+    def is_locked(self, version: int) -> bool:
+        with self._lock:
+            return version in self._locked
+
+    def locker_of(self, version: int) -> int | None:
+        with self._lock:
+            return self._locked.get(version)
+
+    def reclaim_below(self, floor: int) -> int:
+        """Drop shadowed versions no task at or above ``floor`` can read.
+
+        Keeps the highest version < floor (it is the LOAD-LATEST target
+        for cap == floor) and everything >= floor; returns count removed.
+        Locked versions are never reclaimed.
+        """
+        with self._changed:
+            keep_boundary = self._latest_at_or_below(floor)
+            removed = 0
+            for v in list(self._versions):
+                if v < floor and v != keep_boundary and v not in self._locked:
+                    del self._versions[v]
+                    removed += 1
+            return removed

@@ -1,0 +1,134 @@
+"""Task runtime over software O-structures (real threads).
+
+Mirrors the simulator's task model: tasks carry ids, ids order versions,
+TASK-BEGIN/TASK-END drive a background-free garbage collector that
+reclaims shadowed versions once no live task can reach them (the floor
+rule from Section III-B, applied structure-wide).
+
+Usage::
+
+    rt = SWRuntime(num_workers=4)
+    cell = rt.new_ostructure("cell")
+    def producer(ctx):
+        cell.store_version(ctx.task_id, 42)
+    def consumer(ctx):
+        return cell.load_latest(ctx.task_id)[1]
+    rt.spawn(0, producer)
+    fut = rt.spawn(1, consumer)
+    assert fut.result() == 42
+    rt.shutdown()
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+from ..errors import SimulationError
+from .ostructure import SWOStructure
+
+
+class SWTaskContext:
+    """Handed to each task body; carries the id used as version number."""
+
+    __slots__ = ("task_id", "runtime")
+
+    def __init__(self, task_id: int, runtime: "SWRuntime"):
+        self.task_id = task_id
+        self.runtime = runtime
+
+
+class SWRuntime:
+    """Thread-pool task runtime with version garbage collection."""
+
+    def __init__(self, num_workers: int = 4, gc_every: int = 64):
+        if num_workers <= 0:
+            raise SimulationError("need at least one worker")
+        self._pool = ThreadPoolExecutor(max_workers=num_workers)
+        self._lock = threading.Lock()
+        self._live: set[int] = set()
+        self._ostructs: list[SWOStructure] = []
+        self._ends_since_gc = 0
+        self._gc_every = gc_every
+        self.gc_runs = 0
+        self.gc_reclaimed = 0
+        self._shutdown = False
+
+    # -- structures -----------------------------------------------------------
+
+    def new_ostructure(self, name: str = "ostruct") -> SWOStructure:
+        o = SWOStructure(name)
+        with self._lock:
+            self._ostructs.append(o)
+        return o
+
+    # -- task lifecycle -----------------------------------------------------------
+
+    def spawn(self, task_id: int, body: Callable[[SWTaskContext], Any]) -> Future:
+        """Create task ``task_id`` (rule 3 checked) and run it in the pool."""
+        with self._lock:
+            if self._shutdown:
+                raise SimulationError("runtime is shut down")
+            if task_id in self._live:
+                raise SimulationError(f"task {task_id} already live")
+            if self._live and task_id < min(self._live):
+                raise SimulationError(
+                    f"rule 3 violation: task {task_id} below lowest live "
+                    f"{min(self._live)}"
+                )
+            self._live.add(task_id)
+
+        def run() -> Any:
+            ctx = SWTaskContext(task_id, self)
+            try:
+                return body(ctx)
+            finally:
+                self._on_end(task_id)
+
+        return self._pool.submit(run)
+
+    def _on_end(self, task_id: int) -> None:
+        run_gc = False
+        with self._lock:
+            self._live.discard(task_id)
+            self._ends_since_gc += 1
+            if self._ends_since_gc >= self._gc_every:
+                self._ends_since_gc = 0
+                run_gc = True
+        if run_gc:
+            self.collect()
+
+    # -- garbage collection ------------------------------------------------------------
+
+    def collect(self) -> int:
+        """Reclaim versions below the lowest live task id.
+
+        With no live tasks, nothing bounds future readers (a new task may
+        still legally start at any id >= 0 after a quiescent point), so
+        collection is skipped unless the caller passes a floor explicitly
+        via the O-structures' ``reclaim_below``.
+        """
+        with self._lock:
+            if not self._live:
+                return 0
+            floor = min(self._live)
+            structs = list(self._ostructs)
+        reclaimed = sum(o.reclaim_below(floor) for o in structs)
+        with self._lock:
+            self.gc_runs += 1
+            self.gc_reclaimed += reclaimed
+        return reclaimed
+
+    # -- shutdown -------------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._shutdown = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SWRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,55 @@
+"""The six evaluation workloads of Section IV.
+
+Regular (versioning only, I-structure style):
+
+- :mod:`repro.workloads.matmul` — chained dense matrix multiplication,
+- :mod:`repro.workloads.levenshtein` — edit-distance dynamic program.
+
+Irregular (versioning + renaming + locking, task-based execution):
+
+- :mod:`repro.workloads.linked_list` — sorted singly linked list,
+- :mod:`repro.workloads.binary_tree` — unbalanced binary search tree
+  (also provides the range scans of Figure 8),
+- :mod:`repro.workloads.hash_table` — chained hash table,
+- :mod:`repro.workloads.rb_tree` — red-black tree (single writer).
+
+Baselines:
+
+- :mod:`repro.workloads.rwlock_tree` — unversioned BST under a read-write
+  lock (Figure 8's comparison point).
+
+Every workload offers three execution variants with identical operation
+streams: ``sequential_unversioned`` (one conventional-memory program),
+``sequential/parallel versioned`` (task-per-operation on 1..N cores), and
+a pure-Python ``reference`` used to validate results.
+"""
+
+from . import (
+    binary_tree,
+    hash_table,
+    levenshtein,
+    linked_list,
+    matmul,
+    rb_tree,
+    rwlock_tree,
+)
+from .base import WorkloadRun, plan_entries, run_variant, speedup
+from .opgen import OpMix, generate_ops, READ_INTENSIVE, WRITE_INTENSIVE
+
+__all__ = [
+    "WorkloadRun",
+    "run_variant",
+    "speedup",
+    "plan_entries",
+    "OpMix",
+    "generate_ops",
+    "READ_INTENSIVE",
+    "WRITE_INTENSIVE",
+    "binary_tree",
+    "hash_table",
+    "levenshtein",
+    "linked_list",
+    "matmul",
+    "rb_tree",
+    "rwlock_tree",
+]

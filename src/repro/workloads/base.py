@@ -1,0 +1,151 @@
+"""Shared workload machinery.
+
+Every workload exposes variant runners that build a fresh machine, run the
+identical operation stream, and return a :class:`WorkloadRun` carrying the
+cycle count, the stats, and per-operation results for validation.
+
+Conventions shared by the irregular structures:
+
+- **node layout**: immutable fields (the key) live in conventional memory;
+  mutable pointers are O-structure words from the versioned region.
+- **ordered entry** ("root ordering", Section IV-D): a dedicated ticket
+  O-structure orders tasks into the structure.  Mutating task ``t`` does
+  ``LOCK-LOAD-VERSION(ticket, t)`` and, once past the root, renames with
+  ``UNLOCK-VERSION(ticket, t, t+1)``.  Read-only task ``t`` does
+  ``LOAD-VERSION(ticket, t)`` and immediately re-stores the baton as
+  version ``t+1`` — readers never lock the root, which is why
+  read-intensive mixes stall far less (the paper's hash-table analysis).
+- **task ids are versions** (GC rule 1): task ``t`` writes version ``t``
+  and reads with cap ``t``.  Task ids start at 1; structure initialisation
+  writes version 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..config import MachineConfig
+from ..errors import ConfigError
+from ..runtime.scheduler import StaticScheduler
+from ..runtime.task import Task
+from ..sim.machine import Machine
+from ..sim.stats import SimStats
+
+#: First task id used by workload operations (version 0 = initial state).
+FIRST_TASK_ID = 1
+
+#: Cycles of ALU work charged per pointer hop (compare + branch + address
+#: arithmetic; keeps loads ~25% of instructions as the paper observes).
+HOP_COMPUTE = 6
+
+
+@dataclass
+class WorkloadRun:
+    """Outcome of one workload variant execution."""
+
+    name: str
+    variant: str
+    cycles: int
+    stats: SimStats
+    results: list = field(default_factory=list)
+    final_state: Any = None
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / 2e9  # Table II: 2 GHz
+
+
+def run_variant(
+    name: str,
+    variant: str,
+    config: MachineConfig,
+    setup: Callable[[Machine], Any],
+    make_tasks: Callable[[Machine, Any], Iterable[Task]],
+    finalize: Callable[[Machine, Any], Any] | None = None,
+) -> WorkloadRun:
+    """Build a machine, set up the structure, run the tasks, collect results."""
+    machine = Machine(config)
+    state = setup(machine)
+    tasks = list(make_tasks(machine, state))
+    if not tasks:
+        raise ConfigError("workload produced no tasks")
+    machine.submit(tasks, StaticScheduler("round_robin"))
+    stats = machine.run()
+    results = [t.result for t in tasks]
+    final = finalize(machine, state) if finalize is not None else None
+    return WorkloadRun(
+        name=name,
+        variant=variant,
+        cycles=stats.cycles,
+        stats=stats,
+        results=results,
+        final_state=final,
+    )
+
+
+def speedup(baseline: WorkloadRun, other: WorkloadRun) -> float:
+    """How much faster ``other`` is than ``baseline``."""
+    if other.cycles == 0:
+        raise ConfigError("zero-cycle run")
+    return baseline.cycles / other.cycles
+
+
+#: Operations that mutate structure state (need ordered, locked entry).
+MUTATING_OPS = frozenset({"insert", "delete"})
+
+#: Entry-plan tags.
+ENTER_LOCK = "lock"
+ENTER_LOAD = "load"
+ENTER_SKIP = "skip"
+
+
+def plan_entries(
+    ops: Sequence[tuple[str, int, int]], first_tid: int = FIRST_TASK_ID
+) -> tuple[int, list[tuple]]:
+    """Static entry plan for ordered access through a ticket O-structure.
+
+    The paper's root-ordering protocol (Section IV-D): mutating tasks
+    enter with LOCK-LOAD-VERSION and, once past the root, rename the
+    ticket; read-only tasks enter with LOAD-VERSION and never lock or
+    store — "readers do not lock the root".  For that to work, the
+    runtime (which generated the tasks from the sequential program and
+    therefore knows which operations mutate) wires the version numbers:
+
+    - the ticket is initialised to the *first mutator's* id;
+    - mutator ``m`` exact-locks version ``m`` and renames it to the next
+      mutator's id (or a final sentinel);
+    - a reader waits for evidence that the last mutator *before* it has
+      entered the structure — which is exactly the existence of the next
+      mutator's ticket version — via an exact LOAD-VERSION;
+    - a reader with no preceding mutator skips the ticket entirely (every
+      earlier task is read-only, so there is nothing to order against).
+
+    Returns ``(ticket_init_version, plans)`` where ``plans[i]`` is
+    ``(ENTER_LOCK, tid, rename_to)`` for mutators, ``(ENTER_LOAD, ver)``
+    for ordered readers, or ``(ENTER_SKIP,)``.
+    """
+    n = len(ops)
+    sentinel = first_tid + n  # one past every task id
+    mutator_ids = [
+        first_tid + i for i, (op, _, _) in enumerate(ops) if op in MUTATING_OPS
+    ]
+    init_version = mutator_ids[0] if mutator_ids else sentinel
+
+    plans: list[tuple] = []
+    import bisect
+
+    for i, (op, _, _) in enumerate(ops):
+        tid = first_tid + i
+        if op in MUTATING_OPS:
+            j = bisect.bisect_right(mutator_ids, tid)
+            rename_to = mutator_ids[j] if j < len(mutator_ids) else sentinel
+            plans.append((ENTER_LOCK, tid, rename_to))
+        else:
+            j = bisect.bisect_left(mutator_ids, tid)
+            if j == 0:
+                plans.append((ENTER_SKIP,))
+            else:
+                nxt = mutator_ids[j] if j < len(mutator_ids) else sentinel
+                plans.append((ENTER_LOAD, nxt))
+    return init_version, plans

@@ -1,0 +1,84 @@
+"""Unversioned binary tree under a read-write lock (Figure 8 baseline).
+
+The paper's comparison point for snapshot isolation: "an unversioned
+binary tree using a read-write lock", where isolation comes from
+*separating* reads and writes — readers share the lock, writers exclude
+everyone.  Each operation is one task; tasks acquire the rwlock in the
+required mode, run the conventional BST operation, and release.
+
+Because writers are fully exclusive, in-place mutation (including the
+successor-key copy on two-children deletes) is safe, which is exactly the
+programming-effort equivalence the paper notes between rwlock use and
+O-structure versioning.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..errors import ConfigError
+from ..ostruct import isa
+from ..runtime.task import Task
+from ..sim.machine import Machine
+from .base import FIRST_TASK_ID, WorkloadRun, run_variant
+from .binary_tree import UnversionedBinaryTree, _capacity
+from .opgen import DELETE, INSERT, LOOKUP, SCAN
+
+#: Which lock mode each operation needs.
+_MODE = {LOOKUP: "r", SCAN: "r", INSERT: "w", DELETE: "w"}
+
+
+def _make_task(tree: UnversionedBinaryTree, lock, op: str, key: int, extra: int):
+    mode = _MODE.get(op)
+    if mode is None:
+        raise ConfigError(f"rwlock tree does not support {op!r}")
+
+    def body(tid):
+        yield isa.rw_acquire(lock, mode)
+        if op == LOOKUP:
+            result = yield from tree.lookup_op(key)
+        elif op == SCAN:
+            result = yield from tree.scan_op(key, extra)
+        elif op == INSERT:
+            result = yield from tree.insert_op(key)
+        else:
+            result = yield from tree.delete_op(key)
+        yield isa.rw_release(lock, mode)
+        return result
+
+    return body
+
+
+def run_rwlock(
+    config: MachineConfig,
+    initial: list[int],
+    ops: list[tuple[str, int, int]],
+    num_cores: int,
+) -> WorkloadRun:
+    """Task-per-operation run of the rwlock-protected unversioned tree.
+
+    Note: with tasks statically assigned and the rwlock enforcing mutual
+    exclusion, operations may *complete* in a different order than their
+    task ids; the rwlock baseline therefore guarantees linearizability,
+    not sequential-order equivalence.  (The versioned tree does guarantee
+    sequential order — that is the point of the comparison.)
+    """
+
+    def setup(machine: Machine):
+        tree = UnversionedBinaryTree(machine, initial, _capacity(initial, ops))
+        lock = machine.new_rwlock("tree-rwlock")
+        return (tree, lock)
+
+    def make_tasks(machine, state):
+        tree, lock = state
+        return [
+            Task(FIRST_TASK_ID + i, _make_task(tree, lock, op, key, extra),
+                 label=f"rwlock-{op}")
+            for i, (op, key, extra) in enumerate(ops)
+        ]
+
+    def finalize(machine, state):
+        return state[0].snapshot()
+
+    cfg = config.with_cores(num_cores)
+    variant = "rwlock-seq" if num_cores == 1 else f"rwlock-{num_cores}c"
+    return run_variant("rwlock_tree", variant, cfg, setup, make_tasks, finalize)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, MachineConfig
+
+
+@pytest.fixture
+def small_config() -> MachineConfig:
+    """A 4-core machine with a small free list (exercises GC paths)."""
+    return MachineConfig(num_cores=4, free_list_blocks=256, gc_watermark=32)
+
+
+@pytest.fixture
+def machine(small_config: MachineConfig) -> Machine:
+    return Machine(small_config)
+
+
+@pytest.fixture
+def uni_machine() -> Machine:
+    """A single-core machine for sequential-semantics tests."""
+    return Machine(MachineConfig(num_cores=1))
+
+
+def run_ops(machine: Machine, *op_lists):
+    """Helper: run one task per op list (task ids in order); returns tasks."""
+    from repro import Task
+
+    def body(tid, ops):
+        results = []
+        for op in ops:
+            results.append((yield op))
+        return results
+
+    tasks = [Task(i, body, list(ops)) for i, ops in enumerate(op_lists)]
+    machine.submit(tasks)
+    machine.run()
+    return tasks

@@ -1,0 +1,118 @@
+"""Tests for the analysis helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    crossover_point,
+    geomean,
+    relative_speedup,
+    scaling_efficiency,
+    speedup_table,
+    summarize_runs,
+)
+from repro.errors import ConfigError
+from repro.sim.stats import SimStats
+from repro.workloads.base import WorkloadRun
+
+
+def make_run(variant: str, cycles: int, **stat_overrides) -> WorkloadRun:
+    stats = SimStats()
+    for k, v in stat_overrides.items():
+        setattr(stats, k, v)
+    return WorkloadRun(name="t", variant=variant, cycles=cycles, stats=stats)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([3]) == pytest.approx(3.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ConfigError):
+            geomean([])
+        with pytest.raises(ConfigError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 100), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_property_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(0.01, 100), min_size=1, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_property_reciprocal_symmetry(self, values):
+        g = geomean(values)
+        g_inv = geomean([1 / v for v in values])
+        assert g * g_inv == pytest.approx(1.0, rel=1e-6)
+
+
+class TestSpeedup:
+    def test_relative(self):
+        assert relative_speedup(100, 50) == 2.0
+        assert relative_speedup(50, 100) == 0.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            relative_speedup(0, 10)
+
+    def test_table(self):
+        base = make_run("unversioned", 1000)
+        runs = [make_run("v1", 2000), make_run("v32", 250)]
+        table = speedup_table(base, runs)
+        assert table == [("v1", 2000, 0.5), ("v32", 250, 4.0)]
+
+    def test_efficiency(self):
+        eff = scaling_efficiency([4, 8], [3.0, 4.0])
+        assert eff == [0.75, 0.5]
+        with pytest.raises(ConfigError):
+            scaling_efficiency([4], [1.0, 2.0])
+
+
+class TestCrossover:
+    def test_finds_first_crossing(self):
+        assert crossover_point([4, 8, 16, 32], [0.7, 0.9, 1.1, 1.3]) == 16
+
+    def test_none_when_never_crossing(self):
+        assert crossover_point([4, 8], [0.7, 0.9]) is None
+
+    def test_crosses_at_start(self):
+        assert crossover_point([4, 8], [1.5, 2.0]) == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            crossover_point([1, 2], [1.0])
+
+
+class TestSummarize:
+    def test_aggregates(self):
+        runs = [
+            make_run("a", 100, versioned_ops=10, versioned_stalls=2,
+                     direct_hits=6, full_lookups=2, gc_phases=1,
+                     versions_created=5, gc_reclaimed=3),
+            make_run("b", 200, versioned_ops=10, versioned_stalls=0,
+                     direct_hits=2, full_lookups=0, gc_phases=0,
+                     versions_created=5, gc_reclaimed=0),
+        ]
+        s = summarize_runs(runs)
+        assert s["runs"] == 2
+        assert s["total_cycles"] == 300
+        assert s["stall_rate"] == pytest.approx(0.1)
+        assert s["direct_hit_rate"] == pytest.approx(0.8)
+        assert s["versions_created"] == 10
+        assert s["versions_reclaimed"] == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            summarize_runs([])
+
+    def test_zero_ops_safe(self):
+        s = summarize_runs([make_run("a", 1)])
+        assert s["stall_rate"] == 0.0
+        assert s["direct_hit_rate"] == 0.0

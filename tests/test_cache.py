@@ -1,0 +1,111 @@
+"""Tests for the set-associative cache model."""
+
+from __future__ import annotations
+
+from repro.config import CacheConfig
+from repro.sim.cache import Cache
+
+
+def tiny_cache(ways=2, sets=4) -> Cache:
+    cfg = CacheConfig(size_bytes=ways * sets * 64, ways=ways, hit_latency=1)
+    return Cache(cfg, name="tiny")
+
+
+def test_miss_then_hit():
+    c = tiny_cache()
+    assert not c.lookup(5)
+    c.insert(5)
+    assert c.lookup(5)
+
+
+def test_block_of_uses_64_byte_lines():
+    c = tiny_cache()
+    assert c.block_of(0) == 0
+    assert c.block_of(63) == 0
+    assert c.block_of(64) == 1
+    assert c.block_of(0x1000) == 64
+
+
+def test_lru_eviction_within_set():
+    c = tiny_cache(ways=2, sets=1)
+    c.insert(0)
+    c.insert(1)
+    c.lookup(0)  # 0 now most recent
+    victim = c.insert(2)
+    assert victim == 1
+    assert c.contains(0) and c.contains(2) and not c.contains(1)
+
+
+def test_conflict_only_within_same_set():
+    c = tiny_cache(ways=1, sets=4)
+    c.insert(0)  # set 0
+    c.insert(1)  # set 1
+    assert c.contains(0) and c.contains(1)
+    victim = c.insert(4)  # set 0 again (4 % 4 == 0)
+    assert victim == 0
+    assert c.contains(1)
+
+
+def test_reinserting_resident_block_evicts_nothing():
+    c = tiny_cache(ways=2, sets=1)
+    c.insert(0)
+    c.insert(1)
+    assert c.insert(0) is None
+    assert c.resident_blocks == 2
+
+
+def test_contains_does_not_update_recency():
+    c = tiny_cache(ways=2, sets=1)
+    c.insert(0)
+    c.insert(1)
+    c.contains(0)  # must NOT refresh block 0
+    victim = c.insert(2)
+    assert victim == 0
+
+
+def test_invalidate():
+    c = tiny_cache()
+    c.insert(7)
+    assert c.invalidate(7) is True
+    assert not c.contains(7)
+    assert c.invalidate(7) is False
+
+
+def test_dirty_tracking():
+    c = tiny_cache()
+    c.insert(3, dirty=True)
+    assert c.is_dirty(3)
+    c.invalidate(3)
+    assert not c.is_dirty(3)
+    c.insert(4)
+    assert not c.is_dirty(4)
+    c.mark_dirty(4)
+    assert c.is_dirty(4)
+
+
+def test_evict_hook_fires_on_eviction_and_invalidation():
+    c = tiny_cache(ways=1, sets=1)
+    dropped = []
+    c.evict_hook = dropped.append
+    c.insert(0)
+    c.insert(1)  # evicts 0
+    c.invalidate(1)
+    assert dropped == [0, 1]
+
+
+def test_flush_empties_and_fires_hooks():
+    c = tiny_cache()
+    dropped = []
+    c.evict_hook = dropped.append
+    for b in range(6):
+        c.insert(b)
+    c.flush()
+    assert c.resident_blocks == 0
+    assert sorted(dropped) == list(range(6))
+
+
+def test_capacity_respected():
+    c = tiny_cache(ways=2, sets=4)
+    for b in range(100):
+        c.insert(b)
+    assert c.resident_blocks <= 8

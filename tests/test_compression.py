@@ -1,0 +1,185 @@
+"""Tests for compressed version-block lines, incl. bit-exact round trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.ostruct.compression import (
+    ENTRIES_PER_LINE,
+    LINE_BITS,
+    MAX_OFFSET,
+    RANGE,
+    CompressedLine,
+)
+
+
+def test_layout_fits_one_cache_line():
+    # 18 + 4 + 8*60 = 502 bits <= 512 (the paper's packing argument).
+    assert LINE_BITS == 502
+    assert LINE_BITS <= 512
+
+
+def test_put_and_get():
+    line = CompressedLine()
+    assert line.put(5, 0xAB, None)
+    assert line.get(5) == (0xAB, None)
+    assert line.get(6) is None
+    assert 5 in line and 6 not in line
+
+
+def test_capacity_is_eight_with_lru_eviction():
+    line = CompressedLine()
+    for v in range(ENTRIES_PER_LINE):
+        line.put(v, v, None)
+    line.get(0)  # refresh 0
+    line.put(100, 100, None)  # evicts LRU = 1
+    assert len(line) == ENTRIES_PER_LINE
+    assert 0 in line and 1 not in line and 100 in line
+
+
+def test_version_window_restriction_evicts_far_entries():
+    line = CompressedLine()
+    line.put(0, 1, None)
+    line.put(RANGE + 5, 2, None)  # cannot share a window with version 0
+    assert RANGE + 5 in line
+    assert 0 not in line
+
+
+def test_close_versions_share_window():
+    # Offsets are relative to the quantized window start (base << 14).
+    line = CompressedLine()
+    line.put(RANGE, 1, None)
+    line.put(RANGE + MAX_OFFSET, 2, None)
+    assert RANGE in line and RANGE + MAX_OFFSET in line
+
+
+def test_versions_straddling_window_boundary_cannot_share():
+    # Span fits 14 bits but crosses a base boundary: quantized base of the
+    # lower value cannot reach the higher one.
+    line = CompressedLine()
+    line.put(RANGE - 1, 1, None)
+    line.put(RANGE + 1, 2, None)
+    assert RANGE + 1 in line
+    assert RANGE - 1 not in line
+
+
+def test_lock_offset_in_window():
+    line = CompressedLine()
+    assert line.put(50, 7, 52)  # locker close to version: fine
+    assert line.get(50) == (7, 52)
+
+
+def test_far_locker_rejected():
+    line = CompressedLine()
+    # Locker so far from the version no single window covers both.
+    assert line.put(0, 7, MAX_OFFSET + 10) is False
+    assert 0 not in line
+
+
+def test_update_existing_entry_lock_state():
+    line = CompressedLine()
+    line.put(10, 3, None)
+    line.put(10, 3, 12)
+    assert line.get(10) == (3, 12)
+    assert len(line) == 1
+
+
+def test_drop():
+    line = CompressedLine()
+    line.put(1, 1, None)
+    line.put(2, 2, None)
+    line.drop(1)
+    assert 1 not in line and 2 in line
+    line.drop(99)  # absent drop is a no-op
+
+
+def test_base_tracks_lowest_version():
+    line = CompressedLine()
+    line.put(RANGE * 3 + 7, 0, None)
+    assert line.base == 3
+    assert line.window_start == RANGE * 3
+
+
+class TestEncodeDecode:
+    def test_round_trip_simple(self):
+        line = CompressedLine(line_offset=5)
+        line.put(100, 0xDEAD, None)
+        line.put(101, 0xBEEF, 102)
+        decoded = CompressedLine.decode(line.encode())
+        assert decoded.line_offset == 5
+        assert decoded.get(100) == (0xDEAD, None)
+        assert decoded.get(101) == (0xBEEF, 102)
+
+    def test_encoded_word_fits_512_bits(self):
+        line = CompressedLine()
+        for v in range(8):
+            line.put(1000 + v, (1 << 32) - 1 - v, 1000 + v + 8)
+        word = line.encode()
+        assert word < (1 << 512)
+
+    def test_empty_line_round_trip(self):
+        decoded = CompressedLine.decode(CompressedLine().encode())
+        assert len(decoded) == 0
+
+    def test_non_int_value_rejected_by_encode(self):
+        line = CompressedLine()
+        line.put(1, "pointer", None)  # behavioural model accepts any value
+        with pytest.raises(SimulationError):
+            line.encode()
+
+    def test_oversized_value_rejected_by_encode(self):
+        line = CompressedLine()
+        line.put(1, 1 << 32, None)
+        with pytest.raises(SimulationError):
+            line.encode()
+
+    def test_bad_line_offset_rejected(self):
+        with pytest.raises(SimulationError):
+            CompressedLine(line_offset=16)
+
+
+@given(
+    base=st.integers(min_value=0, max_value=(1 << 18) - 2),
+    offsets=st.lists(
+        st.integers(min_value=0, max_value=MAX_OFFSET - 1),
+        unique=True, min_size=1, max_size=8,
+    ),
+    data=st.data(),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_encode_decode_round_trip(base, offsets, data):
+    """Any valid entry set survives a bit-exact encode/decode round trip."""
+    line = CompressedLine()
+    lo = base << 14
+    expected = {}
+    for off in offsets:
+        version = lo + off
+        value = data.draw(st.integers(min_value=0, max_value=(1 << 32) - 1))
+        lock_off = data.draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=MAX_OFFSET - 1))
+        )
+        locked_by = None if lock_off is None else lo + lock_off
+        assert line.put(version, value, locked_by)
+        expected[version] = (value, locked_by)
+    decoded = CompressedLine.decode(line.encode())
+    for version, entry in expected.items():
+        assert decoded.get(version) == entry
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=64)
+)
+@settings(max_examples=150, deadline=None)
+def test_property_window_invariant_always_holds(versions):
+    """After any put sequence, all residents fit one 2^14 window."""
+    line = CompressedLine()
+    for v in versions:
+        line.put(v, v & 0xFFFF, None)
+        resident = line.versions()
+        assert len(resident) <= ENTRIES_PER_LINE
+        if resident:
+            window_start = (min(resident) >> 14) << 14
+            assert max(resident) - window_start <= MAX_OFFSET

@@ -1,0 +1,78 @@
+"""Tests for the Table II configuration model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import BLOCK_SIZE, CacheConfig, MachineConfig, TABLE2
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_table2_l1_geometry(self):
+        l1 = TABLE2.l1
+        assert l1.size_bytes == 32 * 1024
+        assert l1.ways == 8
+        assert l1.block_bytes == 64
+        assert l1.hit_latency == 4
+        assert l1.num_sets == 64  # 32K / (8 * 64)
+
+    def test_table2_l2_scales_with_cores(self):
+        assert TABLE2.l2.size_bytes == 1536 * 1024 * 32
+        assert TABLE2.with_cores(4).l2.size_bytes == 1536 * 1024 * 4
+        assert TABLE2.l2.ways == 16
+        assert TABLE2.l2.hit_latency == 35
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000, ways=3)  # not divisible
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=0, ways=1)
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1024, ways=2, block_bytes=48)  # not pow2
+
+
+class TestMachineConfig:
+    def test_dram_latency_conversion(self):
+        # 60 ns at 2 GHz = 120 cycles.
+        assert TABLE2.dram_latency_cycles == 120
+
+    def test_defaults_match_table2(self):
+        assert TABLE2.num_cores == 32
+        assert TABLE2.issue_width == 2
+        assert TABLE2.clock_ghz == 2.0
+        assert TABLE2.dram_latency_ns == 60.0
+
+    def test_with_cores_preserves_other_fields(self):
+        c = TABLE2.with_cores(8)
+        assert c.num_cores == 8
+        assert c.l1 == TABLE2.l1
+        assert c.versioned_op_extra_latency == 0
+
+    def test_with_l1_kib_resizes_only_l1(self):
+        c = TABLE2.with_l1_kib(8)
+        assert c.l1.size_bytes == 8 * 1024
+        assert c.l1.ways == TABLE2.l1.ways
+        assert c.l2.size_bytes == TABLE2.l2.size_bytes
+
+    @pytest.mark.parametrize("cycles", [2, 4, 6, 8, 10])
+    def test_with_versioned_latency(self, cycles):
+        c = TABLE2.with_versioned_latency(cycles)
+        assert c.versioned_op_extra_latency == cycles
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(num_cores=0)
+        with pytest.raises(ConfigError):
+            MachineConfig(issue_width=0)
+        with pytest.raises(ConfigError):
+            MachineConfig(versioned_op_extra_latency=-1)
+        with pytest.raises(ConfigError):
+            MachineConfig(free_list_blocks=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TABLE2.num_cores = 64  # type: ignore[misc]
+
+    def test_block_size_constant(self):
+        assert BLOCK_SIZE == 64

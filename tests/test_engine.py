@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, lambda: order.append("c"))
+    sim.schedule(10, lambda: order.append("a"))
+    sim.schedule(20, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_cycle_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in "abcde":
+        sim.schedule(5, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_callbacks_can_schedule_further_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            sim.schedule(2, lambda: chain(n + 1))
+
+    sim.schedule(0, lambda: chain(0))
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 10
+
+
+def test_zero_delay_event_runs_after_earlier_same_cycle_events():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0, lambda: order.append("zero-delay"))
+
+    sim.schedule(1, first)
+    sim.schedule(1, lambda: order.append("second"))
+    sim.run()
+    assert order == ["first", "second", "zero-delay"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    times = []
+    sim.schedule_at(42, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [42]
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_run_until_stops_clock_at_limit():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, lambda: fired.append(10))
+    sim.schedule(100, lambda: fired.append(100))
+    executed = sim.run(until=50)
+    assert fired == [10]
+    assert executed == 1
+    assert sim.now == 50
+    assert sim.pending_events == 1
+
+
+def test_run_max_events():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(i, lambda: None)
+    executed = sim.run(max_events=3)
+    assert executed == 3
+    assert sim.pending_events == 7
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3, lambda: seen.append("x"))
+    assert sim.step() is True
+    assert seen == ["x"]
+    assert sim.step() is False
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def bad():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(0, bad)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_returns_executed_count():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(i, lambda: None)
+    assert sim.run() == 7

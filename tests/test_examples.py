@@ -1,0 +1,34 @@
+"""The examples are part of the public surface: they must run clean."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "linked_list_pipeline.py",
+        "matmul_versioned.py",
+        "snapshot_isolation.py",
+        "sw_runtime_threads.py",
+    ],
+)
+def test_example_runs_clean(script):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "examples should narrate what they show"

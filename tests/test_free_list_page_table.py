@@ -1,0 +1,118 @@
+"""Tests for the version-block free list and the page-table protection bit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import VERSION_BLOCK_SIZE
+from repro.errors import FreeListExhausted, ProtectionFault
+from repro.ostruct.free_list import REFILL_TRAP_CYCLES, FreeList
+from repro.ostruct.page_table import PAGE_SIZE, PageTable
+from repro.sim.stats import SimStats
+
+
+def make_fl(initial=4, refill=4, max_refills=1, hook=None):
+    return FreeList(
+        base_paddr=0x8000_0000,
+        initial_blocks=initial,
+        refill_blocks=refill,
+        max_refills=max_refills,
+        stats=SimStats(),
+        on_refill_page=hook,
+    )
+
+
+class TestFreeList:
+    def test_allocations_are_unique_and_aligned(self):
+        fl = make_fl(initial=8)
+        addrs = [fl.allocate()[0] for _ in range(8)]
+        assert len(set(addrs)) == 8
+        assert all(a % VERSION_BLOCK_SIZE == 0 for a in addrs)
+
+    def test_free_count_tracks_allocation_and_release(self):
+        fl = make_fl(initial=4)
+        assert fl.free_count == 4
+        paddr, _ = fl.allocate()
+        assert fl.free_count == 3
+        fl.release(paddr)
+        assert fl.free_count == 4
+
+    def test_no_trap_latency_while_blocks_remain(self):
+        fl = make_fl(initial=2)
+        assert fl.allocate()[1] == 0
+        assert fl.allocate()[1] == 0
+
+    def test_os_refill_trap_charges_latency(self):
+        fl = make_fl(initial=1, refill=4, max_refills=1)
+        fl.allocate()
+        paddr, lat = fl.allocate()  # triggers refill
+        assert lat == REFILL_TRAP_CYCLES
+        assert fl.free_count == 3
+
+    def test_exhaustion_after_refill_budget(self):
+        fl = make_fl(initial=1, refill=1, max_refills=1)
+        fl.allocate()
+        fl.allocate()  # uses the one refill
+        with pytest.raises(FreeListExhausted):
+            fl.allocate()
+
+    def test_unlimited_refills(self):
+        fl = make_fl(initial=1, refill=1, max_refills=None)
+        for _ in range(10):
+            fl.allocate()
+
+    def test_refill_hook_marks_pages(self):
+        regions = []
+        fl = make_fl(initial=2, refill=4, max_refills=1, hook=lambda a, n: regions.append((a, n)))
+        assert regions == [(0x8000_0000, 2 * VERSION_BLOCK_SIZE)]
+        fl.allocate(); fl.allocate(); fl.allocate()
+        assert len(regions) == 2
+        assert regions[1][1] == 4 * VERSION_BLOCK_SIZE
+
+    def test_released_blocks_are_reused(self):
+        fl = make_fl(initial=1, max_refills=0)
+        paddr, _ = fl.allocate()
+        fl.release(paddr)
+        again, _ = fl.allocate()
+        assert again == paddr
+
+
+class TestPageTable:
+    def test_bit_set_and_queried(self):
+        pt = PageTable()
+        pt.mark_versioned(0x4000_0000, 100)
+        assert pt.is_versioned(0x4000_0000)
+        assert pt.is_versioned(0x4000_0063)
+        assert not pt.is_versioned(0x4000_0000 + PAGE_SIZE)
+
+    def test_range_spanning_pages(self):
+        pt = PageTable()
+        pt.mark_versioned(PAGE_SIZE - 8, 16)  # straddles two pages
+        assert pt.is_versioned(PAGE_SIZE - 8)
+        assert pt.is_versioned(PAGE_SIZE)
+
+    def test_conventional_access_to_versioned_page_faults(self):
+        pt = PageTable()
+        pt.mark_versioned(0x5000)
+        with pytest.raises(ProtectionFault):
+            pt.check_conventional(0x5000)
+        pt.check_conventional(0x9000)  # unversioned: fine
+
+    def test_versioned_access_to_conventional_page_faults(self):
+        pt = PageTable()
+        with pytest.raises(ProtectionFault):
+            pt.check_versioned(0x5000)
+        pt.mark_versioned(0x5000)
+        pt.check_versioned(0x5000)
+
+    def test_clear_versioned_converts_back(self):
+        pt = PageTable()
+        pt.mark_versioned(0x5000)
+        pt.clear_versioned(0x5000)
+        assert not pt.is_versioned(0x5000)
+        pt.check_conventional(0x5000)
+
+    def test_page_of(self):
+        assert PageTable.page_of(0) == 0
+        assert PageTable.page_of(PAGE_SIZE) == 1
+        assert PageTable.page_of(PAGE_SIZE * 3 + 5) == 3

@@ -1,0 +1,186 @@
+"""Tests for the experiment harness, report rendering, presets and CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import PAPER, QUICK, Scale, format_table, table2_platform
+from repro.harness.experiments import (
+    ALL_BENCHMARKS,
+    IRREGULAR,
+    REGULAR,
+    _irregular_inputs,
+    _run_irregular,
+    _run_regular,
+    fig6_speedup,
+    gc_overhead,
+)
+from repro.harness.presets import get_scale
+from repro.harness.report import format_series
+from repro.workloads.opgen import READ_INTENSIVE
+
+#: A deliberately tiny scale so harness tests stay fast.
+TINY = Scale(
+    name="tiny",
+    small_elements=20,
+    large_elements=40,
+    n_ops=24,
+    sens_ops=16,
+    matmul_small=4,
+    matmul_large=6,
+    lev_small=6,
+    lev_large=10,
+    fig8_elements=40,
+    fig8_ops=24,
+    core_counts=(2, 4),
+    max_cores=4,
+    l1_sizes_kib=(8, 32),
+    latencies=(2, 10),
+    gc_ops=40,
+)
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert get_scale("quick") is QUICK
+        assert get_scale("paper") is PAPER
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_paper_matches_published_parameters(self):
+        assert PAPER.small_elements == 1000
+        assert PAPER.large_elements == 10000
+        assert PAPER.matmul_large == 100
+        assert PAPER.lev_large == 1000
+        assert PAPER.fig8_elements == 10000
+        assert PAPER.gc_list_elements == 10
+        assert PAPER.gc_ops == 1000
+        assert PAPER.core_counts == (4, 8, 16, 32)
+        assert PAPER.l1_sizes_kib == (8, 16, 32, 64, 128)
+        assert PAPER.latencies == (2, 4, 6, 8, 10)
+
+    def test_quick_preserves_ratios(self):
+        # Small:large stays meaningful at quick scale.
+        assert QUICK.large_elements >= 3 * QUICK.small_elements
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(("name", "x"), [("a", 1.5), ("bb", 10.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.50" in lines[2]
+        assert "10.25" in lines[3]
+
+    def test_format_table_title(self):
+        text = format_table(("c",), [(1,)], title="T")
+        assert text.startswith("T\n=")
+
+    def test_format_series(self):
+        text = format_series("S", "cores", [4, 8], {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        assert "cores" in text and "a" in text and "b" in text
+        assert "2.00" in text and "4.00" in text
+
+    def test_custom_floatfmt(self):
+        text = format_table(("x",), [(0.123456,)], floatfmt="{:+.3f}")
+        assert "+0.123" in text
+
+
+class TestExperimentPlumbing:
+    def test_benchmark_registry_complete(self):
+        assert set(ALL_BENCHMARKS) == set(IRREGULAR) | set(REGULAR)
+        assert len(ALL_BENCHMARKS) == 6
+
+    def test_irregular_inputs_deterministic(self):
+        a = _irregular_inputs(TINY, "linked_list", "small", READ_INTENSIVE)
+        b = _irregular_inputs(TINY, "linked_list", "small", READ_INTENSIVE)
+        assert a == b
+
+    def test_inputs_differ_across_benchmarks(self):
+        a = _irregular_inputs(TINY, "linked_list", "small", READ_INTENSIVE)
+        b = _irregular_inputs(TINY, "binary_tree", "small", READ_INTENSIVE)
+        assert a != b
+
+    @pytest.mark.parametrize("bench", IRREGULAR)
+    def test_run_irregular_variants(self, bench):
+        from repro.config import TABLE2
+
+        u = _run_irregular(bench, TABLE2, TINY, "small", READ_INTENSIVE, "unversioned")
+        v = _run_irregular(bench, TABLE2, TINY, "small", READ_INTENSIVE, "versioned", 2)
+        assert u.cycles > 0 and v.cycles > 0
+
+    @pytest.mark.parametrize("bench", REGULAR)
+    def test_run_regular_variants(self, bench):
+        from repro.config import TABLE2
+
+        u = _run_regular(bench, TABLE2, TINY, "small", "unversioned")
+        v = _run_regular(bench, TABLE2, TINY, "small", "versioned", 2)
+        assert u.cycles > 0 and v.cycles > 0
+
+
+class TestExperiments:
+    def test_table2_checks_pass(self):
+        result = table2_platform()
+        assert all(result["checks"].values())
+        assert "Table II" in result["text"]
+
+    def test_fig6_rows_cover_all_benchmarks(self):
+        result = fig6_speedup(TINY)
+        benches = {row[0] for row in result["rows"]}
+        assert benches == set(ALL_BENCHMARKS)
+        # 4 rows per irregular bench, 2 per regular.
+        assert len(result["rows"]) == 4 * len(IRREGULAR) + 2 * len(REGULAR)
+        assert all(row[3] > 0 for row in result["rows"])
+
+    def test_gc_overhead_structure(self):
+        result = gc_overhead(TINY)
+        assert len(result["rows"]) == 3
+        assert result["tight_phases"] >= 0
+        ample = next(r for r in result["rows"] if r[0].startswith("ample"))
+        assert ample[2] == 0  # no GC phases in the ample configuration
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table2" in out
+
+    def test_table2(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["table2"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestBars:
+    def test_format_bars_scales_and_marks_reference(self):
+        from repro.harness.report import format_bars
+
+        text = format_bars("T", [("a", 0.5), ("b", 2.0)], width=20)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "0.50" in lines[2] and "2.00" in lines[3]
+        # The 2.0 bar is full width; the 0.5 bar is a quarter.
+        assert lines[3].count("#") == 20
+        assert lines[2].count("#") == 5
+        assert "|" in lines[2]  # break-even marker visible below reference
+
+    def test_format_bars_empty(self):
+        from repro.harness.report import format_bars
+
+        assert format_bars("T", []) == "T"
+
+    def test_format_bars_no_reference(self):
+        from repro.harness.report import format_bars
+
+        text = format_bars("T", [("a", 3.0)], reference=None, width=10)
+        assert "|" not in text

@@ -1,0 +1,82 @@
+"""Tests for the micro-op constructors and the Versioned handle API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Versioned
+from repro.ostruct import isa
+
+
+class TestConstructors:
+    def test_compute(self):
+        assert isa.compute(7) == ("compute", 7)
+
+    def test_conventional(self):
+        assert isa.load(0x10) == ("load", 0x10)
+        assert isa.store(0x10, 5) == ("store", 0x10, 5)
+
+    def test_versioned_ops_carry_address_first(self):
+        # "in practice all operations take an address parameter"
+        assert isa.load_version(0x40, 3) == ("load_version", 0x40, 3)
+        assert isa.load_latest(0x40, 3) == ("load_latest", 0x40, 3)
+        assert isa.store_version(0x40, 3, 9) == ("store_version", 0x40, 3, 9)
+        assert isa.lock_load_version(0x40, 3) == ("lock_load_version", 0x40, 3)
+        assert isa.lock_load_latest(0x40, 3) == ("lock_load_latest", 0x40, 3)
+        assert isa.unlock_version(0x40, 3) == ("unlock_version", 0x40, 3, None)
+        assert isa.unlock_version(0x40, 3, 4) == ("unlock_version", 0x40, 3, 4)
+
+    def test_task_markers(self):
+        assert isa.task_begin(5) == ("task_begin", 5)
+        assert isa.task_end(5) == ("task_end", 5)
+
+    def test_versioned_ops_set_is_exactly_the_seven_minus_markers(self):
+        assert isa.VERSIONED_OPS == {
+            "load_version",
+            "load_latest",
+            "store_version",
+            "lock_load_version",
+            "lock_load_latest",
+            "unlock_version",
+        }
+
+    def test_rw_ops(self):
+        lock = object()
+        assert isa.rw_acquire(lock, "r") == ("rw_acquire", lock, "r")
+        assert isa.rw_release(lock, "w") == ("rw_release", lock, "w")
+
+
+class TestVersionedHandle:
+    def test_methods_build_matching_op_tuples(self):
+        h = Versioned(0x4000_0000)
+        assert h.load_ver(1) == isa.load_version(0x4000_0000, 1)
+        assert h.load_last(9) == isa.load_latest(0x4000_0000, 9)
+        assert h.store_ver(1, "v") == isa.store_version(0x4000_0000, 1, "v")
+        assert h.lock_load_ver(1) == isa.lock_load_version(0x4000_0000, 1)
+        assert h.lock_load_last(9) == isa.lock_load_latest(0x4000_0000, 9)
+        assert h.unlock_ver(1) == isa.unlock_version(0x4000_0000, 1)
+        assert h.unlock_ver(1, 2) == isa.unlock_version(0x4000_0000, 1, 2)
+
+    def test_handle_is_address_thin(self):
+        h = Versioned(0x1234)
+        assert h.addr == 0x1234
+        with pytest.raises(AttributeError):
+            h.other = 1  # __slots__: no stray attributes
+
+
+class TestExplicitTaskMarkers:
+    def test_program_can_nest_explicit_begin_end(self, uni_machine):
+        # TASK-BEGIN/END are also available to programs directly
+        # (Section III-B: "two dedicated new instructions").
+        events = []
+        uni_machine.tracker.on_end.append(events.append)
+
+        def prog(tid):
+            yield isa.task_begin(100)
+            yield isa.compute(1)
+            yield isa.task_end(100)
+
+        uni_machine.submit_main(prog, task_id=0)
+        uni_machine.run()
+        assert 100 in events
+        assert uni_machine.tracker.begun == 2  # outer task + explicit one

@@ -1,0 +1,180 @@
+"""Model-based (stateful hypothesis) testing of the O-structure manager.
+
+Drives the real manager and a trivially correct pure-Python model with
+the same random operation sequence, and checks after every step that
+observable behaviour — values, blocking, lock state, version sets —
+matches.  This covers interleavings the example-based tests do not:
+out-of-order creation mixed with locks, renames landing between existing
+versions, frees followed by address reuse, etc.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import NotLockedError, ProtectionFault, VersionExistsError
+from repro.ostruct.manager import StallSignal
+from tests.test_manager import Rig
+
+ADDRS = 4
+VERSIONS = st.integers(min_value=0, max_value=40)
+TASKS = st.integers(min_value=0, max_value=9)
+ADDR_IDX = st.integers(min_value=0, max_value=ADDRS - 1)
+
+
+class _Model:
+    """Ground-truth semantics of one O-structure address."""
+
+    def __init__(self) -> None:
+        self.versions: dict[int, object] = {}
+        self.locks: dict[int, int] = {}
+
+    def latest(self, cap: int) -> int | None:
+        eligible = [v for v in self.versions if v <= cap]
+        return max(eligible) if eligible else None
+
+
+class ManagerModelMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.rig = Rig(num_cores=2)
+        self.base = self.rig.addr
+        self.models = [_Model() for _ in range(ADDRS)]
+
+    def _addr(self, idx: int) -> int:
+        return self.base + 4 * idx
+
+    # -- rules -----------------------------------------------------------------
+
+    @rule(idx=ADDR_IDX, version=VERSIONS, value=st.integers(0, 1000))
+    def store(self, idx, version, value):
+        model = self.models[idx]
+        if version in model.versions:
+            with pytest.raises(VersionExistsError):
+                self.rig.manager.store_version(0, self._addr(idx), version, value)
+        else:
+            self.rig.manager.store_version(0, self._addr(idx), version, value)
+            model.versions[version] = value
+
+    @rule(idx=ADDR_IDX, version=VERSIONS, core=st.integers(0, 1))
+    def load_exact(self, idx, version, core):
+        model = self.models[idx]
+        if version in model.versions and version not in model.locks:
+            _, value = self.rig.manager.load_version(core, self._addr(idx), version)
+            assert value == model.versions[version]
+        else:
+            with pytest.raises(StallSignal):
+                self.rig.manager.load_version(core, self._addr(idx), version)
+
+    @rule(idx=ADDR_IDX, cap=VERSIONS, core=st.integers(0, 1))
+    def load_latest(self, idx, cap, core):
+        model = self.models[idx]
+        expected = model.latest(cap)
+        if expected is not None and expected not in model.locks:
+            _, (version, value) = self.rig.manager.load_latest(
+                core, self._addr(idx), cap
+            )
+            assert version == expected
+            assert value == model.versions[expected]
+        else:
+            with pytest.raises(StallSignal):
+                self.rig.manager.load_latest(core, self._addr(idx), cap)
+
+    @rule(idx=ADDR_IDX, version=VERSIONS, task=TASKS)
+    def lock_exact(self, idx, version, task):
+        model = self.models[idx]
+        if version in model.versions and version not in model.locks:
+            value = self.rig.manager.lock_load_version(
+                0, self._addr(idx), version, task_id=task
+            )[1]
+            assert value == model.versions[version]
+            model.locks[version] = task
+        else:
+            with pytest.raises(StallSignal):
+                self.rig.manager.lock_load_version(
+                    0, self._addr(idx), version, task_id=task
+                )
+
+    @rule(idx=ADDR_IDX, version=VERSIONS, task=TASKS, rename=st.one_of(st.none(), VERSIONS))
+    def unlock(self, idx, version, task, rename):
+        model = self.models[idx]
+        holder = model.locks.get(version)
+        if holder != task or version not in model.versions:
+            with pytest.raises(NotLockedError):
+                self.rig.manager.unlock_version(
+                    0, self._addr(idx), version, task_id=task, new_version=rename
+                )
+            return
+        if rename is not None and rename in model.versions:
+            # Rename collision: the manager faults after unlocking.
+            with pytest.raises(VersionExistsError):
+                self.rig.manager.unlock_version(
+                    0, self._addr(idx), version, task_id=task, new_version=rename
+                )
+            del model.locks[version]  # the unlock part happened
+            return
+        self.rig.manager.unlock_version(
+            0, self._addr(idx), version, task_id=task, new_version=rename
+        )
+        del model.locks[version]
+        if rename is not None:
+            model.versions[rename] = model.versions[version]
+
+    @precondition(lambda self: any(
+        m.versions and not m.locks for m in self.models
+    ))
+    @rule(data=st.data())
+    def free_and_reuse(self, data):
+        candidates = [
+            i for i, m in enumerate(self.models) if m.versions and not m.locks
+        ]
+        idx = data.draw(st.sampled_from(candidates))
+        freed = self.rig.manager.free_ostructure(self._addr(idx))
+        assert freed == len(self.models[idx].versions)
+        self.models[idx] = _Model()
+
+    # -- invariants ----------------------------------------------------------------
+
+    @invariant()
+    def version_sets_match(self):
+        if not hasattr(self, "rig"):
+            return
+        for i, model in enumerate(self.models):
+            live = sorted(self.rig.manager.versions_of(self._addr(i)), reverse=True)
+            assert live == sorted(model.versions, reverse=True)
+
+    @invariant()
+    def lists_structurally_sound(self):
+        if not hasattr(self, "rig"):
+            return
+        for i in range(ADDRS):
+            lst = self.rig.manager.lists.get(self._addr(i))
+            if lst is not None:
+                lst.check_invariants()
+
+    @invariant()
+    def lock_state_matches(self):
+        if not hasattr(self, "rig"):
+            return
+        for i, model in enumerate(self.models):
+            lst = self.rig.manager.lists.get(self._addr(i))
+            if lst is None:
+                continue
+            for block in lst:
+                expected = model.locks.get(block.version)
+                assert block.locked_by == expected
+
+
+ManagerModelMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+TestManagerModel = ManagerModelMachine.TestCase

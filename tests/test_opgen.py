@@ -1,0 +1,121 @@
+"""Tests for operation-stream generation and the sequential oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.workloads.opgen import (
+    DELETE,
+    INSERT,
+    LOOKUP,
+    READ_INTENSIVE,
+    SCAN,
+    WRITE_INTENSIVE,
+    OpMix,
+    generate_ops,
+    initial_keys,
+    reference_results,
+)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_ops(100, READ_INTENSIVE, 1000, seed=5)
+        b = generate_ops(100, READ_INTENSIVE, 1000, seed=5)
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = generate_ops(100, READ_INTENSIVE, 1000, seed=5)
+        b = generate_ops(100, READ_INTENSIVE, 1000, seed=6)
+        assert a != b
+
+    def test_mix_ratios_roughly_hold(self):
+        ops = generate_ops(2000, READ_INTENSIVE, 10_000, seed=1)
+        reads = sum(1 for o in ops if o[0] == LOOKUP)
+        assert 0.7 < reads / len(ops) < 0.9  # target 0.8
+
+    def test_write_intensive_is_half_reads(self):
+        ops = generate_ops(2000, WRITE_INTENSIVE, 10_000, seed=1)
+        reads = sum(1 for o in ops if o[0] == LOOKUP)
+        assert 0.4 < reads / len(ops) < 0.6
+
+    def test_inserts_and_deletes_balanced(self):
+        # Paper: equal insert/delete counts keep the footprint stable.
+        ops = generate_ops(999, WRITE_INTENSIVE, 10_000, seed=2)
+        ins = sum(1 for o in ops if o[0] == INSERT)
+        dels = sum(1 for o in ops if o[0] == DELETE)
+        assert abs(ins - dels) <= 1
+
+    def test_scan_ops_carry_range(self):
+        ops = generate_ops(50, READ_INTENSIVE, 100, seed=3, read_op=SCAN, scan_range=8)
+        scans = [o for o in ops if o[0] == SCAN]
+        assert scans and all(extra == 8 for _, _, extra in scans)
+
+    def test_initial_keys_distinct_and_in_range(self):
+        keys = initial_keys(500, 2000, seed=4)
+        assert len(set(keys)) == 500
+        assert all(0 <= k < 2000 for k in keys)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_ops(0, READ_INTENSIVE, 100, seed=1)
+        with pytest.raises(ConfigError):
+            generate_ops(10, READ_INTENSIVE, 100, seed=1, read_op="bogus")
+        with pytest.raises(ConfigError):
+            initial_keys(200, 100, seed=1)
+
+    def test_opmix_read_fraction(self):
+        assert OpMix(4, 1, "x").read_fraction() == 0.8
+        assert READ_INTENSIVE.name == "4R-1W"
+        assert WRITE_INTENSIVE.name == "1R-1W"
+
+
+class TestReferenceOracle:
+    def test_lookup_semantics(self):
+        results, final = reference_results([5, 10], [(LOOKUP, 5, 0), (LOOKUP, 7, 0)])
+        assert results == [True, False]
+        assert final == [5, 10]
+
+    def test_insert_and_duplicate(self):
+        results, final = reference_results([5], [(INSERT, 7, 0), (INSERT, 7, 0)])
+        assert results == [True, False]
+        assert final == [5, 7]
+
+    def test_delete_and_missing(self):
+        results, final = reference_results([5, 7], [(DELETE, 7, 0), (DELETE, 7, 0)])
+        assert results == [True, False]
+        assert final == [5]
+
+    def test_scan_returns_sorted_window(self):
+        results, _ = reference_results([1, 3, 5, 7, 9], [(SCAN, 4, 3)])
+        assert results == [[5, 7, 9]]
+
+    def test_scan_at_end(self):
+        results, _ = reference_results([1, 3], [(SCAN, 9, 4)])
+        assert results == [[]]
+
+
+@given(
+    init=st.lists(st.integers(0, 200), max_size=30),
+    n_ops=st.integers(1, 120),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_oracle_matches_set_semantics(init, n_ops, seed):
+    """The oracle's final contents equal a straightforward set replay."""
+    ops = generate_ops(n_ops, WRITE_INTENSIVE, 200, seed)
+    results, final = reference_results(init, ops)
+    model = set(init)
+    for (op, key, _), result in zip(ops, results):
+        if op == LOOKUP:
+            assert result == (key in model)
+        elif op == INSERT:
+            assert result == (key not in model)
+            model.add(key)
+        elif op == DELETE:
+            assert result == (key in model)
+            model.discard(key)
+    assert final == sorted(model)

@@ -1,0 +1,95 @@
+"""Tests for the Figure 1 spawning helpers and out-of-order task spawn."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, MachineConfig, Task, Versioned
+from repro.errors import ConfigError, SimulationError
+from repro.ostruct import isa
+from repro.runtime.pipeline import parallel_for, spawn_tasks
+
+
+class TestParallelFor:
+    def test_ids_and_index_passing(self):
+        m = Machine(MachineConfig(num_cores=2))
+        seen = []
+
+        def body(tid, i):
+            seen.append((tid, i))
+            yield isa.compute(1)
+
+        tasks = parallel_for(5, body, machine=m)
+        assert [t.task_id for t in tasks] == [1, 2, 3, 4, 5]
+        m.run()
+        assert sorted(seen) == [(1, 0), (2, 1), (3, 2), (4, 3), (5, 4)]
+
+    def test_extra_args_forwarded(self):
+        m = Machine(MachineConfig(num_cores=1))
+        cell = Versioned(m.heap.alloc_versioned(1))
+
+        def body(tid, i, target):
+            yield target.store_ver(tid, i * i)
+
+        parallel_for(3, body, cell, machine=m)
+        m.run()
+        assert m.manager.versions_of(cell.addr) == [3, 2, 1]
+
+    def test_figure1_outer_loop_shape(self):
+        # N tasks all appending through one O-structure baton, as in the
+        # paper's `for i: create_task(i, insert_end, new node{i})`.
+        m = Machine(MachineConfig(num_cores=4))
+        chain = Versioned(m.heap.alloc_versioned(1))
+        m.manager.store_version(0, chain.addr, 1, 0)
+
+        def appender(tid, i):
+            count = yield chain.lock_load_ver(tid)
+            yield chain.unlock_ver(tid)
+            yield chain.store_ver(tid + 1, count + 1)
+
+        parallel_for(8, appender, machine=m)
+        m.run()
+        lst = m.manager.lists[chain.addr]
+        assert lst.find_latest(1 << 30)[0].value == 8
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ConfigError):
+            parallel_for(0, lambda tid, i: iter(()))
+
+    def test_without_machine_returns_unsubmitted(self):
+        tasks = parallel_for(2, lambda tid, i: iter(()))
+        assert len(tasks) == 2
+        assert all(not t.finished for t in tasks)
+
+
+class TestSpawnTasks:
+    def test_out_of_order_ids_permitted(self):
+        # Rule 3 allows spawning above the lowest live id in any order.
+        m = Machine(MachineConfig(num_cores=2))
+        order = []
+
+        def body(tid):
+            order.append(tid)
+            yield isa.compute(1)
+
+        spawn_tasks([(5, body, ()), (3, body, ()), (9, body, ())], machine=m)
+        m.run()
+        assert sorted(order) == [3, 5, 9]
+
+    def test_duplicate_ids_rejected(self):
+        def body(tid):
+            yield isa.compute(1)
+
+        with pytest.raises(ConfigError):
+            spawn_tasks([(1, body, ()), (1, body, ())])
+
+    def test_rule3_still_enforced_at_submit(self):
+        # Submitting below a live floor trips the tracker.
+        m = Machine(MachineConfig(num_cores=1))
+        m.tracker.register(10)
+
+        def body(tid):
+            yield isa.compute(1)
+
+        with pytest.raises(SimulationError):
+            spawn_tasks([(2, body, ())], machine=m)

@@ -1,0 +1,136 @@
+"""Property-based tests of the simulator substrate against pure models."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig, MachineConfig
+from repro.sim.cache import Cache
+from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.stats import SimStats
+
+
+class _LRUModel:
+    """Oracle: per-set OrderedDict LRU."""
+
+    def __init__(self, sets: int, ways: int):
+        self.sets = [OrderedDict() for _ in range(sets)]
+        self.ways = ways
+
+    def _set(self, block: int) -> OrderedDict:
+        return self.sets[block % len(self.sets)]
+
+    def lookup(self, block: int) -> bool:
+        s = self._set(block)
+        if block in s:
+            s.move_to_end(block)
+            return True
+        return False
+
+    def insert(self, block: int) -> int | None:
+        s = self._set(block)
+        victim = None
+        if block not in s and len(s) >= self.ways:
+            victim, _ = s.popitem(last=False)
+        s[block] = True
+        s.move_to_end(block)
+        return victim
+
+    def invalidate(self, block: int) -> bool:
+        return self._set(block).pop(block, None) is not None
+
+    def contents(self) -> set[int]:
+        return {b for s in self.sets for b in s}
+
+
+_cache_op = st.one_of(
+    st.tuples(st.just("lookup"), st.integers(0, 63)),
+    st.tuples(st.just("insert"), st.integers(0, 63)),
+    st.tuples(st.just("invalidate"), st.integers(0, 63)),
+)
+
+
+@given(ops=st.lists(_cache_op, max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_property_cache_matches_lru_oracle(ops):
+    """The cache's hit/miss/eviction behaviour equals a textbook LRU."""
+    cfg = CacheConfig(size_bytes=4 * 4 * 64, ways=4, hit_latency=1)  # 4 sets
+    cache = Cache(cfg)
+    model = _LRUModel(sets=4, ways=4)
+    for op, block in ops:
+        if op == "lookup":
+            assert cache.lookup(block) == model.lookup(block)
+        elif op == "insert":
+            assert cache.insert(block) == model.insert(block)
+        else:
+            assert cache.invalidate(block) == model.invalidate(block)
+    resident = {
+        b for s in cache._sets for b in s  # noqa: SLF001 - test introspection
+    }
+    assert resident == model.contents()
+
+
+@given(
+    accesses=st.lists(
+        st.tuples(
+            st.integers(0, 3),               # core
+            st.integers(0, 40),              # line index
+            st.booleans(),                   # write?
+        ),
+        max_size=300,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_property_directory_consistent_with_l1_contents(accesses):
+    """After any access sequence: directory sharers == actual L1 residency,
+    and a written line never stays in two L1s."""
+    cfg = MachineConfig(num_cores=4)
+    h = MemoryHierarchy(cfg, SimStats())
+    for core, line, write in accesses:
+        h.access(core, line * 64, write=write)
+        if write:
+            block = line
+            holders = [i for i, l1 in enumerate(h.l1s) if l1.contains(block)]
+            assert holders == [core]
+    for block in range(41):
+        holders = {i for i, l1 in enumerate(h.l1s) if l1.contains(block)}
+        assert h.directory.sharers_of(block) == holders
+
+
+@given(
+    stores=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 60)),  # (addr idx, version)
+        min_size=1,
+        max_size=120,
+    ),
+    phase_points=st.sets(st.integers(0, 119), max_size=6),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_gc_never_reclaims_latest_or_future_reads(stores, phase_points):
+    """Random store sequences with GC phases at random points: after every
+    phase, every address still answers LOAD-LATEST(inf) with its true
+    latest version, and lists stay structurally sound."""
+    from tests.test_manager import Rig
+
+    rig = Rig(free_list_blocks=4096, gc_watermark=0)
+    latest: dict[int, int] = {}
+    seen: dict[int, set[int]] = {}
+    for i, (idx, version) in enumerate(stores):
+        addr = rig.addr + 4 * idx
+        if version in seen.setdefault(idx, set()):
+            continue
+        seen[idx].add(version)
+        rig.manager.store_version(0, addr, version, version * 7)
+        latest[idx] = max(latest.get(idx, -1), version)
+        if i in phase_points:
+            rig.gc.start_phase()
+    rig.gc.start_phase()
+    for idx, v in latest.items():
+        addr = rig.addr + 4 * idx
+        _, (got_v, got_val) = rig.manager.load_latest(0, addr, 1 << 30)
+        assert got_v == v
+        assert got_val == v * 7
+        rig.manager.lists[addr].check_invariants()

@@ -1,0 +1,158 @@
+"""Tests for the execution tracer."""
+
+from __future__ import annotations
+
+from repro import Machine, MachineConfig, Task, Versioned
+from repro.ostruct import isa
+from repro.sim.trace import TraceEvent, Tracer
+
+
+def simple_machine():
+    m = Machine(MachineConfig(num_cores=2))
+    cell = Versioned(m.heap.alloc_versioned(1))
+    conv = m.heap.alloc(64)
+    return m, cell, conv
+
+
+def test_records_ops_in_order():
+    m, cell, conv = simple_machine()
+    tracer = Tracer(m)
+
+    def prog(tid):
+        yield isa.store(conv, 1)
+        yield cell.store_ver(0, 2)
+        yield cell.load_ver(0)
+
+    m.submit([Task(0, prog)])
+    m.run()
+    ops = [e.op for e in tracer.events()]
+    assert ops == ["store", "store_version", "load_version"]
+    cycles = [e.cycle for e in tracer.events()]
+    assert cycles == sorted(cycles)
+
+
+def test_only_versioned_filter():
+    m, cell, conv = simple_machine()
+    tracer = Tracer(m, only_versioned=True)
+
+    def prog(tid):
+        yield isa.store(conv, 1)
+        yield isa.compute(10)
+        yield cell.store_ver(0, 2)
+
+    m.submit([Task(0, prog)])
+    m.run()
+    assert [e.op for e in tracer.events()] == ["store_version"]
+
+
+def test_core_filter():
+    m, cell, conv = simple_machine()
+    tracer = Tracer(m, cores={1})
+
+    def prog(tid):
+        yield isa.compute(5)
+
+    m.submit([Task(0, prog), Task(1, prog)])  # round-robin: cores 0 and 1
+    m.run()
+    assert all(e.core == 1 for e in tracer.events())
+    assert len(tracer) == 1
+
+
+def test_addr_range_filter():
+    m, cell, conv = simple_machine()
+    tracer = Tracer(m, addr_range=(cell.addr, cell.addr + 4))
+
+    def prog(tid):
+        yield isa.store(conv, 1)
+        yield cell.store_ver(0, 2)
+
+    m.submit([Task(0, prog)])
+    m.run()
+    assert [e.op for e in tracer.events()] == ["store_version"]
+
+
+def test_stall_events_marked():
+    m, cell, conv = simple_machine()
+    tracer = Tracer(m, only_versioned=True)
+
+    def producer(tid):
+        yield isa.compute(3000)
+        yield cell.store_ver(0, 7)
+
+    def consumer(tid):
+        yield cell.load_ver(0)
+
+    m.submit([Task(0, producer), Task(1, consumer)])
+    m.run()
+    stalled = [e for e in tracer.events() if e.stalled]
+    assert stalled and stalled[0].op == "load_version"
+    # The eventual success is recorded too.
+    ok = [e for e in tracer.events() if e.op == "load_version" and not e.stalled]
+    assert ok
+
+
+def test_ring_buffer_drops_oldest():
+    m, cell, conv = simple_machine()
+    tracer = Tracer(m, capacity=4)
+
+    def prog(tid):
+        for i in range(10):
+            yield isa.compute(1)
+
+    m.submit([Task(0, prog)])
+    m.run()
+    assert len(tracer) == 4
+    assert tracer.dropped == 6
+    assert tracer.recorded == 10
+
+
+def test_for_address_and_for_task():
+    m, cell, conv = simple_machine()
+    tracer = Tracer(m)
+
+    def prog(tid):
+        yield cell.store_ver(tid, tid)
+
+    m.submit([Task(0, prog), Task(1, prog)])
+    m.run()
+    history = tracer.for_address(cell.addr)
+    assert len(history) == 2
+    assert len(tracer.for_task(1)) >= 1
+
+
+def test_summary():
+    m, cell, conv = simple_machine()
+    tracer = Tracer(m)
+
+    def prog(tid):
+        yield isa.compute(4)
+        yield isa.store(conv, 1)
+
+    m.submit([Task(0, prog)])
+    m.run()
+    s = tracer.summary()
+    assert s["recorded"] == 2
+    assert s["op_counts"] == {"compute": 1, "store": 1}
+    assert s["buffered_latency_total"] > 0
+
+
+def test_detach_stops_recording():
+    m, cell, conv = simple_machine()
+    tracer = Tracer(m)
+    tracer.detach()
+
+    def prog(tid):
+        yield isa.compute(4)
+
+    m.submit([Task(0, prog)])
+    m.run()
+    assert len(tracer) == 0
+
+
+def test_event_str_is_readable():
+    ev = TraceEvent(cycle=12, core=1, task=3, op="load_version",
+                    addr=0x4000_0000, detail=(0x4000_0000, 2), latency=4,
+                    stalled=False)
+    text = str(ev)
+    assert "c1" in text and "t3" in text and "load_version" in text
+    assert "0x40000000" in text

@@ -1,0 +1,210 @@
+"""Tests for version blocks and version-block lists, incl. property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.ostruct.version_block import VersionBlock, VersionList
+
+
+def vb(version, value=None, paddr=None):
+    return VersionBlock(version, value if value is not None else version * 10,
+                        paddr if paddr is not None else 0x8000_0000 + version * 16)
+
+
+class TestVersionBlock:
+    def test_fields(self):
+        b = vb(3, value=42, paddr=0x1000)
+        assert b.version == 3
+        assert b.value == 42
+        assert b.paddr == 0x1000
+        assert not b.locked
+        assert b.next is None
+        assert b.next_paddr is None
+
+    def test_next_paddr_mirrors_link(self):
+        a, b = vb(1), vb(2)
+        a.next = b
+        assert a.next_paddr == b.paddr
+
+    def test_version_id_range_checked(self):
+        with pytest.raises(SimulationError):
+            VersionBlock(-1, 0, 0)
+        with pytest.raises(SimulationError):
+            VersionBlock(1 << 32, 0, 0)
+
+    def test_lock_state(self):
+        b = vb(1)
+        b.locked_by = 7
+        assert b.locked
+        b.locked_by = None
+        assert not b.locked
+
+
+class TestSortedInsert:
+    def test_inserts_keep_descending_order(self):
+        lst = VersionList(0x4000_0000)
+        for v in [5, 2, 9, 1, 7]:
+            lst.insert(vb(v))
+        assert lst.versions() == [9, 7, 5, 2, 1]
+        lst.check_invariants()
+
+    def test_head_bit_maintained(self):
+        lst = VersionList(0)
+        lst.insert(vb(1))
+        assert lst.head.head is True
+        lst.insert(vb(5))
+        assert lst.head.version == 5
+        assert lst.head.head is True
+        # Old head's bit cleared.
+        assert lst.head.next.head is False
+
+    def test_duplicate_version_rejected(self):
+        lst = VersionList(0)
+        lst.insert(vb(3))
+        with pytest.raises(SimulationError):
+            lst.insert(vb(3))
+
+    def test_insert_reports_shadowed_block(self):
+        lst = VersionList(0)
+        lst.insert(vb(1))
+        shadowed, _ = lst.insert(vb(2))
+        assert shadowed is not None and shadowed.version == 1
+        # Inserting below everything shadows nothing.
+        shadowed, _ = lst.insert(vb(0))
+        assert shadowed is None
+
+    def test_out_of_order_insert_shadows_next_lower(self):
+        lst = VersionList(0)
+        lst.insert(vb(1))
+        lst.insert(vb(9))
+        shadowed, _ = lst.insert(vb(5))
+        assert shadowed.version == 1
+
+    def test_insert_at_head_is_cheap(self):
+        lst = VersionList(0)
+        for v in range(10):
+            _, visited = lst.insert(vb(v))
+            assert visited <= 1  # in-order creation never walks
+
+
+class TestUnsortedInsert:
+    def test_append_at_head(self):
+        lst = VersionList(0, sorted_insert=False)
+        for v in [5, 2, 9]:
+            lst.insert(vb(v))
+        assert lst.versions() == [9, 2, 5]
+
+    def test_find_exact_scans_whole_list(self):
+        lst = VersionList(0, sorted_insert=False)
+        for v in [5, 2, 9]:
+            lst.insert(vb(v))
+        block, visited = lst.find_exact(5)
+        assert block.version == 5
+        assert visited == 3
+
+    def test_find_latest_scans_for_max(self):
+        lst = VersionList(0, sorted_insert=False)
+        for v in [5, 2, 9]:
+            lst.insert(vb(v))
+        block, _ = lst.find_latest(7)
+        assert block.version == 5
+
+    def test_shadow_scan(self):
+        lst = VersionList(0, sorted_insert=False)
+        lst.insert(vb(1))
+        lst.insert(vb(5))
+        shadowed, _ = lst.insert(vb(3))
+        assert shadowed.version == 1
+
+
+class TestLookup:
+    def test_find_exact_hit(self):
+        lst = VersionList(0)
+        for v in [1, 3, 5]:
+            lst.insert(vb(v))
+        block, visited = lst.find_exact(3)
+        assert block.version == 3
+        assert visited == 2  # 5 then 3
+
+    def test_find_exact_early_termination(self):
+        lst = VersionList(0)
+        for v in [1, 3, 5]:
+            lst.insert(vb(v))
+        block, visited = lst.find_exact(4)
+        assert block is None
+        assert visited == 2  # stops at 3 < 4
+
+    def test_find_latest_returns_highest_at_or_below_cap(self):
+        lst = VersionList(0)
+        for v in [1, 3, 5]:
+            lst.insert(vb(v))
+        assert lst.find_latest(4)[0].version == 3
+        assert lst.find_latest(5)[0].version == 5
+        assert lst.find_latest(100)[0].version == 5
+        assert lst.find_latest(0)[0] is None
+
+    def test_remove(self):
+        lst = VersionList(0)
+        blocks = [vb(v) for v in [1, 3, 5]]
+        for b in blocks:
+            lst.insert(b)
+        assert lst.remove(blocks[1]) is True
+        assert lst.versions() == [5, 1]
+        assert lst.remove(blocks[1]) is False
+        lst.check_invariants()
+
+    def test_remove_head_promotes_next(self):
+        lst = VersionList(0)
+        blocks = [vb(v) for v in [1, 3]]
+        for b in blocks:
+            lst.insert(b)
+        lst.remove(blocks[1])  # remove version 3 (head)
+        assert lst.head.version == 1
+        assert lst.head.head is True
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), unique=True, min_size=1, max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_property_sorted_list_invariants(versions):
+    """Any insertion order yields a sorted, duplicate-free list."""
+    lst = VersionList(0)
+    for v in versions:
+        lst.insert(vb(v))
+    lst.check_invariants()
+    assert lst.versions() == sorted(versions, reverse=True)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=500), unique=True, min_size=1, max_size=40),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_find_latest_matches_spec(versions, cap):
+    """find_latest == max(v <= cap) in both sorted and unsorted modes."""
+    expected = max((v for v in versions if v <= cap), default=None)
+    for mode in (True, False):
+        lst = VersionList(0, sorted_insert=mode)
+        for v in versions:
+            lst.insert(vb(v))
+        block, _ = lst.find_latest(cap)
+        got = block.version if block else None
+        assert got == expected
+
+
+@given(st.lists(st.integers(min_value=0, max_value=300), unique=True, min_size=2, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_property_shadowing_identifies_next_lower_version(versions):
+    """The block reported as shadowed is the next-lower live version."""
+    lst = VersionList(0)
+    lst.insert(vb(versions[0]))
+    for v in versions[1:]:
+        shadowed, _ = lst.insert(vb(v))
+        live_below = [u for u in lst.versions() if u < v]
+        if live_below:
+            assert shadowed is not None and shadowed.version == max(live_below)
+        else:
+            assert shadowed is None

@@ -1,0 +1,114 @@
+"""Tests for the wait-for graph deadlock diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DeadlockError, Machine, MachineConfig, Task, Versioned
+from repro.ostruct import isa
+from repro.sim.waitgraph import build_wait_graph, find_cycles, post_mortem
+
+
+def run_to_deadlock(machine):
+    with pytest.raises(DeadlockError):
+        machine.run()
+
+
+def test_missing_producer_reported():
+    m = Machine(MachineConfig(num_cores=1))
+    cell = Versioned(m.heap.alloc_versioned(1))
+
+    def prog(tid):
+        yield cell.load_ver(7)  # nobody ever stores version 7
+
+    m.submit([Task(0, prog)])
+    run_to_deadlock(m)
+    edges = build_wait_graph(m)
+    assert len(edges) == 1
+    assert edges[0].vaddr == cell.addr
+    assert edges[0].holders == frozenset()
+    assert find_cycles(m) == []
+    report = post_mortem(m)
+    assert "no producer" in report
+    assert "missing producer" in report
+
+
+def test_lock_cycle_detected():
+    # Classic ABBA: task 1 locks A then wants B; task 2 locks B then wants A.
+    m = Machine(MachineConfig(num_cores=2))
+    a = Versioned(m.heap.alloc_versioned(1))
+    b = Versioned(m.heap.alloc_versioned(1))
+    m.manager.store_version(0, a.addr, 0, "A")
+    m.manager.store_version(0, b.addr, 0, "B")
+
+    def t1(tid):
+        yield a.lock_load_ver(0)
+        yield isa.compute(1000)
+        yield b.lock_load_ver(0)
+
+    def t2(tid):
+        yield b.lock_load_ver(0)
+        yield isa.compute(1000)
+        yield a.lock_load_ver(0)
+
+    m.submit([Task(1, t1), Task(2, t2)])
+    run_to_deadlock(m)
+    cycles = find_cycles(m)
+    assert cycles == [[1, 2]]
+    report = post_mortem(m)
+    assert "LOCK CYCLE" in report
+    assert "task 1" in report and "task 2" in report
+
+
+def test_holder_identified_for_latest_wait():
+    m = Machine(MachineConfig(num_cores=2))
+    cell = Versioned(m.heap.alloc_versioned(1))
+    m.manager.store_version(0, cell.addr, 0, "x")
+
+    def holder(tid):
+        yield cell.lock_load_ver(0)
+        yield cell.load_ver(99)  # now hang on a missing version
+
+    def waiter(tid):
+        yield isa.compute(500)
+        yield cell.load_last(tid)  # blocked by holder's lock
+
+    m.submit([Task(1, holder), Task(2, waiter)])
+    run_to_deadlock(m)
+    edges = {e.waiter_task: e for e in build_wait_graph(m)}
+    assert edges[2].holders == frozenset({1})
+    assert edges[1].holders == frozenset()  # missing version 99
+
+
+def test_no_blocked_cores():
+    m = Machine(MachineConfig(num_cores=1))
+
+    def prog(tid):
+        yield isa.compute(1)
+
+    m.submit([Task(0, prog)])
+    m.run()
+    assert build_wait_graph(m) == []
+    assert post_mortem(m) == "no blocked cores"
+
+
+def test_three_way_cycle():
+    m = Machine(MachineConfig(num_cores=3))
+    cells = [Versioned(m.heap.alloc_versioned(1)) for _ in range(3)]
+    for c in cells:
+        m.manager.store_version(0, c.addr, 0, 0)
+
+    def body(tid, mine, want):
+        yield mine.lock_load_ver(0)
+        yield isa.compute(1000)
+        yield want.lock_load_ver(0)
+
+    tasks = [
+        Task(1, body, cells[0], cells[1]),
+        Task(2, body, cells[1], cells[2]),
+        Task(3, body, cells[2], cells[0]),
+    ]
+    m.submit(tasks)
+    run_to_deadlock(m)
+    cycles = find_cycles(m)
+    assert [1, 2, 3] in cycles

@@ -1,0 +1,309 @@
+"""Sequential-equivalence and protocol tests for the irregular workloads.
+
+The acceptance criterion for the paper's task-based execution model is
+that a parallel versioned run produces *exactly* the sequential program's
+results — per-operation return values and final structure contents.
+These tests check that across structures, mixes, core counts and
+hypothesis-generated operation streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MachineConfig
+from repro.workloads import binary_tree, hash_table, linked_list, rb_tree
+from repro.workloads.base import ENTER_LOAD, ENTER_LOCK, ENTER_SKIP, plan_entries
+from repro.workloads.opgen import (
+    DELETE,
+    INSERT,
+    LOOKUP,
+    READ_INTENSIVE,
+    SCAN,
+    WRITE_INTENSIVE,
+    OpMix,
+    generate_ops,
+    initial_keys,
+    reference_results,
+)
+
+MODULES = {
+    "linked_list": linked_list,
+    "binary_tree": binary_tree,
+    "hash_table": hash_table,
+    "rb_tree": rb_tree,
+}
+
+CFG = MachineConfig()
+
+
+def check_equivalence(mod, init, ops, cores):
+    expected_results, expected_final = reference_results(init, ops)
+    run = mod.run_versioned(CFG, init, ops, cores)
+    assert run.results == expected_results, [
+        (i, a, b)
+        for i, (a, b) in enumerate(zip(run.results, expected_results))
+        if a != b
+    ][:5]
+    assert run.final_state == expected_final
+    return run
+
+
+@pytest.mark.parametrize("name", sorted(MODULES))
+@pytest.mark.parametrize("mix", [READ_INTENSIVE, WRITE_INTENSIVE], ids=lambda m: m.name)
+class TestSequentialEquivalence:
+    def test_unversioned_matches_oracle(self, name, mix):
+        mod = MODULES[name]
+        init = initial_keys(80, 320, seed=11)
+        ops = generate_ops(96, mix, 320, seed=11)
+        expected_results, expected_final = reference_results(init, ops)
+        run = mod.run_unversioned(CFG, init, ops)
+        assert run.results == expected_results
+        assert run.final_state == expected_final
+
+    def test_versioned_single_core(self, name, mix):
+        init = initial_keys(80, 320, seed=12)
+        ops = generate_ops(96, mix, 320, seed=12)
+        check_equivalence(MODULES[name], init, ops, 1)
+
+    def test_versioned_parallel(self, name, mix):
+        init = initial_keys(80, 320, seed=13)
+        ops = generate_ops(96, mix, 320, seed=13)
+        check_equivalence(MODULES[name], init, ops, 8)
+
+    def test_versioned_many_cores(self, name, mix):
+        init = initial_keys(50, 200, seed=14)
+        ops = generate_ops(64, mix, 200, seed=14)
+        check_equivalence(MODULES[name], init, ops, 32)
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("name", sorted(MODULES))
+    def test_empty_initial_structure(self, name):
+        ops = [(INSERT, 5, 0), (LOOKUP, 5, 0), (DELETE, 5, 0), (LOOKUP, 5, 0)]
+        run = check_equivalence(MODULES[name], [], ops, 2)
+        assert run.results == [True, True, True, False]
+
+    @pytest.mark.parametrize("name", sorted(MODULES))
+    def test_all_operations_on_one_key(self, name):
+        ops = [(INSERT, 7, 0)] + [(DELETE, 7, 0), (INSERT, 7, 0)] * 10
+        check_equivalence(MODULES[name], [3], ops, 4)
+
+    @pytest.mark.parametrize("name", sorted(MODULES))
+    def test_pure_read_stream(self, name):
+        init = initial_keys(40, 160, seed=15)
+        ops = [(LOOKUP, k, 0) for k in range(0, 160, 7)]
+        check_equivalence(MODULES[name], init, ops, 8)
+
+    @pytest.mark.parametrize("name", sorted(MODULES))
+    def test_pure_write_stream(self, name):
+        ops = [(INSERT, k, 0) for k in range(0, 60, 2)] + [
+            (DELETE, k, 0) for k in range(0, 60, 4)
+        ]
+        check_equivalence(MODULES[name], [1], ops, 8)
+
+    def test_binary_tree_two_children_deletes(self):
+        # Force deletions of internal nodes with two children.
+        init = [50, 25, 75, 12, 37, 62, 87, 6, 18, 31, 43]
+        ops = [(DELETE, 50, 0), (LOOKUP, 43, 0), (DELETE, 25, 0),
+               (LOOKUP, 37, 0), (DELETE, 75, 0), (LOOKUP, 87, 0)]
+        check_equivalence(binary_tree, init, ops, 4)
+
+    def test_binary_tree_scan_spanning_mutations(self):
+        init = list(range(0, 100, 5))
+        ops = [(SCAN, 0, 10, ), (INSERT, 3, 0), (SCAN, 0, 10), (DELETE, 10, 0),
+               (SCAN, 0, 10), (SCAN, 95, 10)]
+        check_equivalence(binary_tree, init, ops, 4)
+
+    def test_rb_tree_invariants_after_parallel_run(self):
+        init = initial_keys(60, 240, seed=16)
+        ops = generate_ops(80, WRITE_INTENSIVE, 240, seed=16)
+        expected_results, expected_final = reference_results(init, ops)
+
+        def setup_and_check():
+            from repro.runtime.scheduler import StaticScheduler
+            from repro.runtime.task import Task
+            from repro.sim.machine import Machine
+            from repro.workloads.base import FIRST_TASK_ID, plan_entries
+            from repro.workloads.rb_tree import VersionedRBTree
+
+            machine = Machine(CFG.with_cores(8))
+            init_version, plans = plan_entries(ops)
+            tree = VersionedRBTree(machine, init, len(init) + len(ops) + 2,
+                                   ticket_init_version=init_version)
+            tasks = []
+            for i, (op, key, _) in enumerate(ops):
+                tid = FIRST_TASK_ID + i
+                if op == LOOKUP:
+                    tasks.append(Task(tid, tree.lookup_task, key, plans[i]))
+                elif op == INSERT:
+                    tasks.append(Task(tid, tree.insert_task, key, plans[i][2]))
+                else:
+                    tasks.append(Task(tid, tree.delete_task, key, plans[i][2]))
+            machine.submit(tasks, StaticScheduler())
+            machine.run()
+            assert tree.snapshot() == expected_final
+            # The red-black properties hold on the final tree.
+            tree.check_invariants()
+
+        setup_and_check()
+
+    def test_hash_table_single_bucket_degenerates_to_list(self):
+        from repro.runtime.scheduler import StaticScheduler
+        from repro.runtime.task import Task
+        from repro.sim.machine import Machine
+        from repro.workloads.base import FIRST_TASK_ID
+        from repro.workloads.hash_table import VersionedHashTable
+
+        ops = [(INSERT, 5, 0), (INSERT, 9, 0), (DELETE, 5, 0), (LOOKUP, 9, 0)]
+        expected_results, expected_final = reference_results([1, 13], ops)
+        init_version, plans = plan_entries(ops)
+        machine = Machine(CFG.with_cores(2))
+        table = VersionedHashTable(machine, [1, 13], 16, num_buckets=1,
+                                   ticket_init_version=init_version)
+        tasks = []
+        for i, (op, key, _) in enumerate(ops):
+            tid = FIRST_TASK_ID + i
+            body = {LOOKUP: table.lookup_task, INSERT: table.insert_task,
+                    DELETE: table.delete_task}[op]
+            arg = plans[i] if op == LOOKUP else plans[i][2]
+            tasks.append(Task(tid, body, key, arg))
+        machine.submit(tasks, StaticScheduler())
+        machine.run()
+        assert [t.result for t in tasks] == expected_results
+        assert table.snapshot() == expected_final
+
+
+class TestProtocolBehaviour:
+    def test_readers_do_not_lock_the_root(self):
+        # Pure-lookup stream: zero lock operations on the ticket.
+        init = initial_keys(40, 160, seed=17)
+        ops = [(LOOKUP, k, 0) for k in range(0, 160, 11)]
+        run = hash_table.run_versioned(CFG, init, ops, 8)
+        assert run.stats.versions_locked == 0
+
+    def test_write_intensive_stalls_more_at_root(self):
+        # The paper's hash-table observation: write-heavy mixes stall at
+        # the root far more than read-heavy ones.
+        init = initial_keys(100, 400, seed=18)
+        ops_w = generate_ops(96, WRITE_INTENSIVE, 400, seed=18)
+        ops_r = generate_ops(96, READ_INTENSIVE, 400, seed=18)
+        run_w = hash_table.run_versioned(CFG, init, ops_w, 16)
+        run_r = hash_table.run_versioned(CFG, init, ops_r, 16)
+        assert run_w.stats.root_load_stalls > run_r.stats.root_load_stalls
+
+    def test_snapshot_isolation_under_concurrent_inserts(self):
+        # Scans overlapping inserts still return sequential-order results
+        # (this is the serializability claim of Section IV-C).
+        init = list(range(0, 200, 4))
+        mix = OpMix(reads=3, writes=1, name="3S-1W")
+        ops = generate_ops(96, mix, 200, seed=19, read_op=SCAN, scan_range=8)
+        ops = [(op if op != DELETE else INSERT, k, e) for op, k, e in ops]
+        check_equivalence(binary_tree, init, ops, 16)
+
+    def test_versions_created_match_mutations(self):
+        init = initial_keys(30, 120, seed=20)
+        ops = [(INSERT, 200 + i, 0) for i in range(10)]
+        run = linked_list.run_versioned(CFG, init, ops, 4)
+        # Each insert creates >= 2 versions (new node next + spliced prev).
+        creations = run.stats.versions_created
+        assert creations >= 20
+
+    def test_scheduler_skew_does_not_break_order(self):
+        # Block scheduling puts whole runs of consecutive tasks on one
+        # core — maximal skew for the entry protocol.
+        from repro.runtime.scheduler import StaticScheduler
+        from repro.runtime.task import Task
+        from repro.sim.machine import Machine
+        from repro.workloads.base import FIRST_TASK_ID
+        from repro.workloads.linked_list import VersionedLinkedList
+
+        init = initial_keys(30, 120, seed=21)
+        ops = generate_ops(48, WRITE_INTENSIVE, 120, seed=21)
+        expected_results, expected_final = reference_results(init, ops)
+        init_version, plans = plan_entries(ops)
+        machine = Machine(CFG.with_cores(4))
+        lst = VersionedLinkedList(machine, init, len(init) + len(ops) + 2,
+                                  ticket_init_version=init_version)
+        tasks = []
+        for i, (op, key, _) in enumerate(ops):
+            tid = FIRST_TASK_ID + i
+            if op == LOOKUP:
+                tasks.append(Task(tid, lst.lookup_task, key, plans[i]))
+            elif op == INSERT:
+                tasks.append(Task(tid, lst.insert_task, key, plans[i][2]))
+            else:
+                tasks.append(Task(tid, lst.delete_task, key, plans[i][2]))
+        machine.submit(tasks, StaticScheduler("block"))
+        machine.run()
+        assert [t.result for t in tasks] == expected_results
+        assert lst.snapshot() == expected_final
+
+
+class TestEntryPlanner:
+    def test_all_readers(self):
+        ops = [(LOOKUP, 1, 0)] * 4
+        init, plans = plan_entries(ops, first_tid=1)
+        assert init == 5  # sentinel
+        assert all(p == (ENTER_SKIP,) for p in plans)
+
+    def test_all_mutators_chain(self):
+        ops = [(INSERT, 1, 0)] * 3
+        init, plans = plan_entries(ops, first_tid=1)
+        assert init == 1
+        assert plans == [(ENTER_LOCK, 1, 2), (ENTER_LOCK, 2, 3), (ENTER_LOCK, 3, 4)]
+
+    def test_readers_wait_on_next_mutator_version(self):
+        ops = [(INSERT, 1, 0), (LOOKUP, 2, 0), (LOOKUP, 3, 0), (DELETE, 4, 0)]
+        init, plans = plan_entries(ops, first_tid=1)
+        assert init == 1
+        assert plans[0] == (ENTER_LOCK, 1, 4)
+        # Readers 2 and 3 wait for mutator 1's rename target (version 4).
+        assert plans[1] == (ENTER_LOAD, 4)
+        assert plans[2] == (ENTER_LOAD, 4)
+        assert plans[3] == (ENTER_LOCK, 4, 5)
+
+    def test_trailing_readers_use_sentinel(self):
+        ops = [(INSERT, 1, 0), (LOOKUP, 2, 0)]
+        init, plans = plan_entries(ops, first_tid=1)
+        assert plans[0] == (ENTER_LOCK, 1, 3)
+        assert plans[1] == (ENTER_LOAD, 3)
+
+    def test_leading_readers_skip(self):
+        ops = [(LOOKUP, 1, 0), (INSERT, 2, 0)]
+        _, plans = plan_entries(ops, first_tid=1)
+        assert plans[0] == (ENTER_SKIP,)
+
+
+@given(
+    init=st.lists(st.integers(0, 100), max_size=25),
+    seed=st.integers(0, 10_000),
+    cores=st.sampled_from([2, 4, 8]),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_linked_list_parallel_equals_sequential(init, seed, cores, data):
+    """Hypothesis: random op streams on random cores == sequential oracle."""
+    n_ops = data.draw(st.integers(4, 40))
+    ops = generate_ops(n_ops, WRITE_INTENSIVE, 100, seed)
+    expected_results, expected_final = reference_results(init, ops)
+    run = linked_list.run_versioned(CFG, init, ops, cores)
+    assert run.results == expected_results
+    assert run.final_state == expected_final
+
+
+@given(
+    init=st.lists(st.integers(0, 100), max_size=25),
+    seed=st.integers(0, 10_000),
+    data=st.data(),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_binary_tree_parallel_equals_sequential(init, seed, data):
+    n_ops = data.draw(st.integers(4, 32))
+    ops = generate_ops(n_ops, WRITE_INTENSIVE, 100, seed)
+    expected_results, expected_final = reference_results(init, ops)
+    run = binary_tree.run_versioned(CFG, init, ops, 8)
+    assert run.results == expected_results
+    assert run.final_state == expected_final

@@ -1,0 +1,143 @@
+"""Tests for the regular workloads (matmul, Levenshtein) and rwlock tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MachineConfig
+from repro.workloads import levenshtein, matmul, rwlock_tree
+from repro.workloads.opgen import (
+    INSERT,
+    LOOKUP,
+    SCAN,
+    OpMix,
+    generate_ops,
+    initial_keys,
+)
+
+CFG = MachineConfig()
+
+
+class TestMatmul:
+    @pytest.mark.parametrize("cores", [1, 4, 16])
+    def test_matches_numpy(self, cores):
+        a, b, c = matmul.make_inputs(10, seed=11)
+        expected = matmul.reference(a, b, c)
+        run = matmul.run_versioned(CFG, 10, cores, seed=11)
+        assert np.array_equal(run.final_state, expected)
+
+    def test_unversioned_matches_numpy(self):
+        a, b, c = matmul.make_inputs(8, seed=7)
+        run = matmul.run_unversioned(CFG, 8, seed=7)
+        assert np.array_equal(run.final_state, matmul.reference(a, b, c))
+
+    def test_parallel_beats_sequential_versioned(self):
+        v1 = matmul.run_versioned(CFG, 12, 1, seed=3)
+        v16 = matmul.run_versioned(CFG, 12, 16, seed=3)
+        assert v16.cycles < v1.cycles
+
+    def test_dataflow_pipelining_stalls_consumers(self):
+        # R-row tasks block on T elements at least sometimes.
+        run = matmul.run_versioned(CFG, 10, 8, seed=5)
+        assert run.stats.versioned_stalls > 0
+
+    def test_each_element_written_once(self):
+        # I-structure discipline: versions created == |T| + |R|.
+        n = 8
+        run = matmul.run_versioned(CFG, n, 4, seed=9)
+        assert run.stats.versions_created == 2 * n * n
+
+    def test_size_one(self):
+        a, b, c = matmul.make_inputs(1, seed=2)
+        run = matmul.run_versioned(CFG, 1, 1, seed=2)
+        assert run.final_state[0, 0] == matmul.reference(a, b, c)[0, 0]
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize("cores", [1, 4, 16])
+    def test_matches_reference(self, cores):
+        s1, s2 = levenshtein.make_strings(20, seed=13)
+        expected = levenshtein.reference(s1, s2)
+        run = levenshtein.run_versioned(CFG, 20, cores, seed=13)
+        assert run.final_state == expected
+
+    def test_unversioned_matches_reference(self):
+        s1, s2 = levenshtein.make_strings(16, seed=4)
+        run = levenshtein.run_unversioned(CFG, 16, seed=4)
+        assert run.final_state == levenshtein.reference(s1, s2)
+
+    def test_reference_known_values(self):
+        assert levenshtein.reference([1, 2, 3], [1, 2, 3]) == 0
+        assert levenshtein.reference([1, 2, 3], [1, 9, 3]) == 1
+        assert levenshtein.reference([], [1, 2]) == 2
+        assert levenshtein.reference([1, 2], []) == 2
+
+    def test_wavefront_parallelism(self):
+        v1 = levenshtein.run_versioned(CFG, 32, 1, seed=6)
+        v8 = levenshtein.run_versioned(CFG, 32, 8, seed=6)
+        assert v8.cycles < v1.cycles
+
+    @given(
+        s1=st.lists(st.integers(0, 3), min_size=0, max_size=12),
+        s2=st.lists(st.integers(0, 3), min_size=0, max_size=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_reference_is_a_metric(self, s1, s2):
+        d = levenshtein.reference(s1, s2)
+        assert d == levenshtein.reference(s2, s1)  # symmetry
+        assert (d == 0) == (s1 == s2)  # identity
+        assert d <= max(len(s1), len(s2))  # upper bound
+        assert d >= abs(len(s1) - len(s2))  # lower bound
+
+
+class TestRWLockTree:
+    def test_results_are_linearizable_types(self):
+        init = initial_keys(60, 240, seed=8)
+        ops = generate_ops(48, OpMix(3, 1, "3S-1W"), 240, seed=8,
+                           read_op=SCAN, scan_range=4)
+        ops = [(op if op != "delete" else INSERT, k, e) for op, k, e in ops]
+        run = rwlock_tree.run_rwlock(CFG, init, ops, 8)
+        for (op, _, _), result in zip(ops, run.results):
+            if op == SCAN:
+                assert isinstance(result, list)
+                assert result == sorted(result)
+            else:
+                assert isinstance(result, bool)
+        # The final tree is a well-formed BST (sorted in-order walk).
+        assert run.final_state == sorted(run.final_state)
+
+    def test_single_core_matches_sequential_order(self):
+        # On one core tasks run in id order: exact oracle equivalence.
+        from repro.workloads.opgen import reference_results
+
+        init = initial_keys(40, 160, seed=9)
+        ops = generate_ops(40, OpMix(1, 1, "1R-1W"), 160, seed=9)
+        expected_results, expected_final = reference_results(init, ops)
+        run = rwlock_tree.run_rwlock(CFG, init, ops, 1)
+        assert run.results == expected_results
+        assert run.final_state == expected_final
+
+    def test_final_contents_consistent_with_reported_results(self):
+        # Whatever interleaving happened, an insert that returned True
+        # and was never deleted must be present.
+        init = [10, 20, 30]
+        ops = [(INSERT, k, 0) for k in (1, 2, 3, 4, 5)]
+        run = rwlock_tree.run_rwlock(CFG, init, ops, 4)
+        assert all(run.results)
+        assert run.final_state == [1, 2, 3, 4, 5, 10, 20, 30]
+
+    def test_lock_stats_populated(self):
+        init = initial_keys(30, 120, seed=10)
+        ops = generate_ops(32, OpMix(1, 1, "1R-1W"), 120, seed=10)
+        run = rwlock_tree.run_rwlock(CFG, init, ops, 8)
+        stats = run.stats
+        assert stats.rwlock_read_acquires + stats.rwlock_write_acquires == len(ops)
+
+    def test_unsupported_op_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            rwlock_tree.run_rwlock(CFG, [1], [("bogus", 1, 0)], 2)

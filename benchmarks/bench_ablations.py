@@ -15,28 +15,36 @@ import dataclasses
 import pytest
 
 from repro.config import TABLE2
-from repro.harness.experiments import _irregular_inputs, _run_irregular
 from repro.harness.report import format_table
-from repro.workloads import linked_list
+from repro.harness.sweeps import irregular_spec
 from repro.workloads.opgen import READ_INTENSIVE
 
 
 @pytest.mark.figure("ablation")
-def test_compression_ablation(run_once, scale):
+def test_compression_ablation(run_once, scale, runner):
     """Direct access via compressed lines vs always walking the list."""
 
     def measure():
+        points = [
+            (comp, tag, cores)
+            for comp in (True, False)
+            for cores, tag in ((1, "1T"), (scale.max_cores, f"{scale.max_cores}T"))
+        ]
+        specs = [
+            irregular_spec(
+                "linked_list",
+                dataclasses.replace(TABLE2, compression_enabled=comp),
+                scale, "large", READ_INTENSIVE.name, "versioned", cores,
+                n_ops=scale.sens_ops,
+            )
+            for comp, _tag, cores in points
+        ]
         rows = []
-        for comp in (True, False):
-            for cores, tag in ((1, "1T"), (scale.max_cores, f"{scale.max_cores}T")):
-                cfg = dataclasses.replace(TABLE2, compression_enabled=comp)
-                r = _run_irregular("linked_list", cfg, scale, "large",
-                                   READ_INTENSIVE, "versioned", cores,
-                                   n_ops=scale.sens_ops)
-                rows.append((
-                    "on" if comp else "off", tag, r.cycles,
-                    r.stats.direct_hit_rate, r.stats.full_lookups,
-                ))
+        for (comp, tag, _cores), r in zip(points, runner.run(specs)):
+            rows.append((
+                "on" if comp else "off", tag, r.cycles,
+                r.stats.direct_hit_rate, r.stats.full_lookups,
+            ))
         return rows
 
     rows = run_once(measure)
@@ -54,15 +62,21 @@ def test_compression_ablation(run_once, scale):
 
 
 @pytest.mark.figure("ablation")
-def test_pollution_avoidance_ablation(run_once, scale):
+def test_pollution_avoidance_ablation(run_once, scale, runner):
     """Selective caching during full lookups vs installing every block."""
 
     def measure():
+        specs = [
+            irregular_spec(
+                "linked_list",
+                dataclasses.replace(TABLE2, pollution_avoidance=avoid),
+                scale, "large", READ_INTENSIVE.name, "versioned",
+                scale.max_cores, n_ops=scale.sens_ops,
+            )
+            for avoid in (True, False)
+        ]
         rows = []
-        for avoid in (True, False):
-            cfg = dataclasses.replace(TABLE2, pollution_avoidance=avoid)
-            r = _run_irregular("linked_list", cfg, scale, "large", READ_INTENSIVE,
-                               "versioned", scale.max_cores, n_ops=scale.sens_ops)
+        for avoid, r in zip((True, False), runner.run(specs)):
             rows.append((
                 "on" if avoid else "off", r.cycles,
                 r.stats.l1_hit_rate, r.stats.l1_misses,

@@ -14,8 +14,8 @@ from repro.harness.experiments import fig10_latency
 
 
 @pytest.mark.figure("fig10")
-def test_fig10_latency(run_once, scale):
-    result = run_once(fig10_latency, scale)
+def test_fig10_latency(run_once, scale, runner):
+    result = run_once(fig10_latency, scale, runner=runner)
     print()
     print(result["text"])
 

@@ -14,8 +14,8 @@ from repro.harness.experiments import fig6_speedup
 
 
 @pytest.mark.figure("fig6")
-def test_fig6_speedup(run_once, scale):
-    result = run_once(fig6_speedup, scale)
+def test_fig6_speedup(run_once, scale, runner):
+    result = run_once(fig6_speedup, scale, runner=runner)
     print()
     print(result["text"])
 

@@ -14,8 +14,8 @@ from repro.harness.experiments import fig7_scalability
 
 
 @pytest.mark.figure("fig7")
-def test_fig7_scalability(run_once, scale):
-    result = run_once(fig7_scalability, scale)
+def test_fig7_scalability(run_once, scale, runner):
+    result = run_once(fig7_scalability, scale, runner=runner)
     print()
     print(result["text"])
 

@@ -14,8 +14,8 @@ from repro.harness.experiments import fig8_snapshot_isolation
 
 
 @pytest.mark.figure("fig8")
-def test_fig8_snapshot_isolation(run_once, scale):
-    result = run_once(fig8_snapshot_isolation, scale)
+def test_fig8_snapshot_isolation(run_once, scale, runner):
+    result = run_once(fig8_snapshot_isolation, scale, runner=runner)
     print()
     print(result["text"])
 

@@ -13,8 +13,8 @@ from repro.harness.experiments import fig9_l1_size
 
 
 @pytest.mark.figure("fig9")
-def test_fig9_l1_size(run_once, scale):
-    result = run_once(fig9_l1_size, scale)
+def test_fig9_l1_size(run_once, scale, runner):
+    result = run_once(fig9_l1_size, scale, runner=runner)
     print()
     print(result["text"])
 

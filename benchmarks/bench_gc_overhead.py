@@ -19,8 +19,8 @@ from repro.harness.experiments import gc_overhead
 
 
 @pytest.mark.figure("gc")
-def test_gc_overhead(run_once, scale):
-    result = run_once(gc_overhead, scale)
+def test_gc_overhead(run_once, scale, runner):
+    result = run_once(gc_overhead, scale, runner=runner)
     print()
     print(result["text"])
 

@@ -1,0 +1,123 @@
+"""A/B micro-benchmarks for the simulator hot-loop optimisations.
+
+Two of the three tunings are isolated here with their pre-optimisation
+counterparts reconstructed inline, so the win stays measurable over time:
+
+- **event drain**: ``Simulator.run()`` with no bounds takes a fast path
+  with no per-event limit checks; ``run(max_events=N)`` still walks the
+  original peek-check-pop loop.  Same events, same result — the delta is
+  pure loop overhead.
+- **batched waiter wake-ups**: ``OStructureManager._notify`` schedules
+  one ``_BatchWake`` event per notification instead of one event per
+  waiter.  The A arm reproduces the old per-waiter scheme; the B arm is
+  the batch object.  Callback order is asserted identical; the heap sees
+  K times fewer pushes.
+
+(The third tuning — the ``(core, vaddr)`` direct-entry memo and the
+closure-free core retire path — only shows up under a full machine and is
+covered by the workload benches.)
+
+Timing assertions are deliberately absent: CI boxes are noisy.  The
+deterministic half of each A/B (identical behaviour, fewer heap events)
+is asserted; wall-clock goes to ``extra_info`` for BENCH_*.json trending.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.harness.report import format_table
+from repro.ostruct.manager import _BatchWake
+from repro.sim.engine import Simulator
+
+DRAIN_EVENTS = 200_000
+WAKE_ROUNDS = 2_000
+WAITERS = 16
+
+
+@pytest.mark.figure("hotloop")
+def test_event_drain_fast_path(run_once, benchmark):
+    """Unbounded drain (fast path) vs bounded drain (original loop)."""
+
+    def build(n):
+        sim = Simulator()
+        nop = lambda: None
+        for i in range(n):
+            sim.schedule_at(i, nop)
+        return sim
+
+    def measure():
+        sim = build(DRAIN_EVENTS)
+        t0 = time.perf_counter()
+        fast_n = sim.run()
+        fast_s = time.perf_counter() - t0
+
+        sim = build(DRAIN_EVENTS)
+        t0 = time.perf_counter()
+        slow_n = sim.run(max_events=DRAIN_EVENTS)
+        slow_s = time.perf_counter() - t0
+        return fast_n, slow_n, fast_s, slow_s
+
+    fast_n, slow_n, fast_s, slow_s = run_once(measure)
+    assert fast_n == slow_n == DRAIN_EVENTS
+    benchmark.extra_info["fast_s"] = fast_s
+    benchmark.extra_info["bounded_s"] = slow_s
+    print()
+    print(format_table(
+        ("loop", "events", "wall s", "Mevents/s"),
+        [
+            ("fast (unbounded)", fast_n, fast_s, fast_n / fast_s / 1e6),
+            ("bounded (original)", slow_n, slow_s, slow_n / slow_s / 1e6),
+        ],
+        title="Event-drain loop A/B",
+        floatfmt="{:.3f}",
+    ))
+
+
+@pytest.mark.figure("hotloop")
+def test_batched_wakeups(run_once, benchmark):
+    """One _BatchWake event per notification vs one event per waiter."""
+
+    def run_arm(batched: bool):
+        sim = Simulator()
+        order: list[int] = []
+        cbs = [lambda i=i: order.append(i) for i in range(WAITERS)]
+
+        def notify():
+            # What OStructureManager._notify does on each arm.
+            if batched:
+                sim.schedule(1, _BatchWake(cbs))
+            else:
+                for cb in cbs:
+                    sim.schedule(1, cb)
+
+        for r in range(WAKE_ROUNDS):
+            sim.schedule_at(10 * r, notify)
+        t0 = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - t0
+        return order, sim._seq, elapsed
+
+    def measure():
+        return run_arm(batched=False), run_arm(batched=True)
+
+    (old_order, old_seq, old_s), (new_order, new_seq, new_s) = run_once(measure)
+    # Same callbacks, same order — only the heap traffic differs.
+    assert new_order == old_order
+    assert len(new_order) == WAKE_ROUNDS * WAITERS
+    assert old_seq - new_seq == WAKE_ROUNDS * (WAITERS - 1)
+
+    benchmark.extra_info["per_waiter_s"] = old_s
+    benchmark.extra_info["batched_s"] = new_s
+    print()
+    print(format_table(
+        ("scheme", "heap pushes", "wall s"),
+        [
+            ("per-waiter (original)", old_seq, old_s),
+            ("batched", new_seq, new_s),
+        ],
+        title=f"Waiter wake-up A/B ({WAKE_ROUNDS} rounds x {WAITERS} waiters)",
+        floatfmt="{:.3f}",
+    ))

@@ -1,0 +1,90 @@
+"""Serial vs. parallel sweep execution for a fixed Figure 6 slice.
+
+Tracks the wall-clock speedup the process-pool sweep runner delivers over
+the serial path, and proves the two produce byte-identical rows.  The
+slice is the irregular half of Figure 6 at the active scale (16 runs of
+very different durations — small/large x read/write x un/versioned — so
+it also exercises the runner's fine-grained work distribution).
+
+The speedup lands in the pytest-benchmark JSON via ``extra_info`` so
+``BENCH_*.json`` can track it over time; the >= 2x assertion only applies
+on hosts with at least 4 physical cores (a 1-core CI box cannot speed
+anything up by fanning out).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.config import TABLE2
+from repro.harness.experiments import IRREGULAR
+from repro.harness.report import format_table
+from repro.harness.runner import SweepRunner
+from repro.harness.sweeps import irregular_spec
+from repro.workloads.opgen import READ_INTENSIVE, WRITE_INTENSIVE
+
+PARALLEL_JOBS = 4
+
+
+def _fig6_slice(scale):
+    specs = []
+    for bench in IRREGULAR:
+        for size in ("small", "large"):
+            for mix in (READ_INTENSIVE, WRITE_INTENSIVE):
+                specs.append(irregular_spec(
+                    bench, TABLE2, scale, size, mix.name, "unversioned"))
+                specs.append(irregular_spec(
+                    bench, TABLE2, scale, size, mix.name, "versioned",
+                    scale.max_cores))
+    return specs
+
+
+@pytest.mark.figure("runner")
+def test_runner_scaling(run_once, scale, benchmark):
+    specs = _fig6_slice(scale)
+
+    def measure():
+        serial = SweepRunner(jobs=1, use_cache=False)
+        t0 = time.perf_counter()
+        serial_rows = serial.run(specs)
+        serial_s = time.perf_counter() - t0
+
+        parallel = SweepRunner(jobs=PARALLEL_JOBS, use_cache=False)
+        t0 = time.perf_counter()
+        parallel_rows = parallel.run(specs)
+        parallel_s = time.perf_counter() - t0
+        return serial_rows, parallel_rows, serial_s, parallel_s
+
+    serial_rows, parallel_rows, serial_s, parallel_s = run_once(measure)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    benchmark.extra_info["serial_s"] = serial_s
+    benchmark.extra_info["parallel_s"] = parallel_s
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["jobs"] = PARALLEL_JOBS
+    benchmark.extra_info["host_cores"] = os.cpu_count()
+
+    print()
+    print(format_table(
+        ("path", "jobs", "runs", "wall s"),
+        [
+            ("serial", 1, len(specs), serial_s),
+            ("parallel", PARALLEL_JOBS, len(specs), parallel_s),
+            ("speedup", "-", "-", speedup),
+        ],
+        title=f"Sweep runner scaling [{scale.name}, {os.cpu_count()} host cores]",
+        floatfmt="{:.2f}",
+    ))
+
+    # Determinism first: parallel output must be byte-identical to serial.
+    assert json.dumps([r.to_json() for r in serial_rows]) == \
+        json.dumps([r.to_json() for r in parallel_rows])
+
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x with {PARALLEL_JOBS} workers on a "
+            f"{os.cpu_count()}-core host, got {speedup:.2f}x"
+        )

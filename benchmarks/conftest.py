@@ -17,6 +17,7 @@ import os
 import pytest
 
 from repro.harness.presets import get_scale
+from repro.harness.runner import SweepRunner
 
 
 def pytest_configure(config):
@@ -26,6 +27,17 @@ def pytest_configure(config):
 @pytest.fixture(scope="session")
 def scale():
     return get_scale(os.environ.get("REPRO_SCALE", "quick"))
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Sweep runner for the bench suite.
+
+    Parallelism follows ``REPRO_JOBS`` (default: all host cores); the
+    on-disk result cache is force-disabled so the timed numbers always
+    measure simulation, never a cache read.
+    """
+    return SweepRunner(use_cache=False)
 
 
 @pytest.fixture

@@ -4,9 +4,14 @@ Usage::
 
     python -m repro list
     python -m repro table2
-    python -m repro fig6 [--scale quick|paper]
+    python -m repro fig6 [--scale quick|paper] [--jobs N] [--no-cache]
     python -m repro fig7 fig8 fig9 fig10 gc
     python -m repro all --scale quick
+
+Sweeps fan out over a process pool (``--jobs`` / ``REPRO_JOBS``, default:
+all host cores) and memoise finished runs under ``.repro_cache/`` so a
+re-run only simulates what changed (``--no-cache`` / ``REPRO_CACHE=0`` to
+disable).
 """
 
 from __future__ import annotations
@@ -15,17 +20,19 @@ import argparse
 import sys
 import time
 
+from .errors import ConfigError
 from .harness import experiments
 from .harness.presets import get_scale
+from .harness.runner import SweepRunner
 
 EXPERIMENTS = {
-    "table2": lambda scale: experiments.table2_platform(),
-    "fig6": experiments.fig6_speedup,
-    "fig7": experiments.fig7_scalability,
-    "fig8": experiments.fig8_snapshot_isolation,
-    "fig9": experiments.fig9_l1_size,
-    "fig10": experiments.fig10_latency,
-    "gc": experiments.gc_overhead,
+    "table2": lambda scale, runner: experiments.table2_platform(),
+    "fig6": lambda scale, runner: experiments.fig6_speedup(scale, runner=runner),
+    "fig7": lambda scale, runner: experiments.fig7_scalability(scale, runner=runner),
+    "fig8": lambda scale, runner: experiments.fig8_snapshot_isolation(scale, runner=runner),
+    "fig9": lambda scale, runner: experiments.fig9_l1_size(scale, runner=runner),
+    "fig10": lambda scale, runner: experiments.fig10_latency(scale, runner=runner),
+    "gc": lambda scale, runner: experiments.gc_overhead(scale, runner=runner),
 }
 
 
@@ -45,6 +52,24 @@ def main(argv: list[str] | None = None) -> int:
         choices=("quick", "paper"),
         help="workload scale (paper sizes take hours on a Python simulator)",
     )
+    parser.add_argument(
+        "-j", "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel simulation workers (default: REPRO_JOBS or all host cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always simulate; do not read or write .repro_cache/",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache location (default: REPRO_CACHE_DIR or .repro_cache/)",
+    )
     args = parser.parse_args(argv)
 
     if args.targets == ["list"]:
@@ -58,12 +83,21 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
     scale = get_scale(args.scale)
+    try:
+        runner = SweepRunner(
+            jobs=args.jobs,
+            use_cache=False if args.no_cache else None,
+            cache_dir=args.cache_dir,
+        )
+    except ConfigError as exc:
+        parser.error(str(exc))
     for name in targets:
+        before = runner.stats.snapshot()
         start = time.perf_counter()
-        result = EXPERIMENTS[name](scale)
+        result = EXPERIMENTS[name](scale, runner)
         elapsed = time.perf_counter() - start
         print(result["text"])
-        print(f"[{name}: {elapsed:.1f}s]\n")
+        print(f"[{name}: {elapsed:.1f}s; {runner.stats.since(before).describe()}]\n")
     return 0
 
 

@@ -3,10 +3,13 @@
 - :mod:`repro.harness.presets` — workload scales (``quick`` default;
   ``paper`` matches the published parameters),
 - :mod:`repro.harness.experiments` — one function per figure/table,
+- :mod:`repro.harness.runner` — parallel sweep executor + result cache,
+- :mod:`repro.harness.sweeps` — picklable per-run simulation entry points,
 - :mod:`repro.harness.report` — ASCII rendering of the paper-shaped rows.
 """
 
 from .presets import PAPER, QUICK, Scale
+from .runner import RunResult, RunSpec, SweepRunner, run_sweep
 from .experiments import (
     fig6_speedup,
     fig7_scalability,
@@ -22,6 +25,10 @@ __all__ = [
     "Scale",
     "QUICK",
     "PAPER",
+    "RunResult",
+    "RunSpec",
+    "SweepRunner",
+    "run_sweep",
     "fig6_speedup",
     "fig7_scalability",
     "fig8_snapshot_isolation",

@@ -5,99 +5,44 @@ paper plots) plus a ``text`` rendering; the benchmark harness times the
 underlying simulations and prints the text.  Workload scale comes from a
 :class:`~repro.harness.presets.Scale`; the machine platform defaults to
 Table II.
+
+Every simulation here goes through :mod:`repro.harness.runner`: each
+experiment builds its full list of :class:`~repro.harness.runner.RunSpec`
+up front (in paper order) and hands it to a
+:class:`~repro.harness.runner.SweepRunner`, which fans the independent
+runs out over a process pool and memoises finished runs on disk.  Pass
+``runner=`` to control parallelism/caching; the default runner reads
+``REPRO_JOBS`` and ``REPRO_CACHE`` from the environment.  Because every
+run is seeded and self-contained, the assembled rows are bit-identical
+whether the sweep executes serially, in parallel, or from cache.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import dataclasses
 
 from ..config import MachineConfig, TABLE2
-from ..workloads import binary_tree, hash_table, levenshtein, linked_list, matmul, rb_tree
-from ..workloads import rwlock_tree
-from ..workloads.base import WorkloadRun
-from ..workloads.opgen import (
-    OpMix,
-    READ_INTENSIVE,
-    SCAN,
-    WRITE_INTENSIVE,
-    generate_ops,
-    initial_keys,
-)
+from ..workloads.opgen import READ_INTENSIVE, WRITE_INTENSIVE
 from .presets import QUICK, Scale
 from .report import format_table
+from .runner import RunResult, RunSpec, SweepRunner, run_sweep
+from .sweeps import (  # noqa: F401  (re-exported: tests and benches use them)
+    FIG8_MIX,
+    MIXES,
+    _irregular_inputs,
+    _run_irregular,
+    _run_regular,
+    _seed,
+    fig8_spec,
+    gc_spec,
+    irregular_spec,
+    regular_spec,
+)
 
 #: Paper ordering of the Figure 6/7/9/10 benchmarks.
 IRREGULAR = ("linked_list", "binary_tree", "hash_table", "rb_tree")
 REGULAR = ("levenshtein", "matmul")
 ALL_BENCHMARKS = IRREGULAR + REGULAR
-
-_IRREGULAR_MODULES = {
-    "linked_list": linked_list,
-    "binary_tree": binary_tree,
-    "hash_table": hash_table,
-    "rb_tree": rb_tree,
-}
-_REGULAR_MODULES = {"levenshtein": levenshtein, "matmul": matmul}
-
-
-def _seed(scale: Scale, *parts: object) -> int:
-    """Deterministic seed from the experiment coordinates.
-
-    Uses crc32 rather than ``hash()`` — the latter is randomized per
-    process, which would make every pytest invocation run different
-    workloads.
-    """
-    import zlib
-
-    digest = zlib.crc32(repr(parts).encode())
-    return (scale.seed + digest) % (1 << 31)
-
-
-def _irregular_inputs(
-    scale: Scale, bench: str, size: str, mix: OpMix, n_ops: int | None = None
-) -> tuple[list[int], list[tuple[str, int, int]]]:
-    elements = scale.small_elements if size == "small" else scale.large_elements
-    seed = _seed(scale, bench, size, mix.name)
-    init = initial_keys(elements, elements * scale.key_space_factor, seed)
-    ops = generate_ops(
-        n_ops or scale.n_ops, mix, elements * scale.key_space_factor, seed
-    )
-    return init, ops
-
-
-def _run_irregular(
-    bench: str,
-    config: MachineConfig,
-    scale: Scale,
-    size: str,
-    mix: OpMix,
-    variant: str,
-    cores: int = 1,
-    n_ops: int | None = None,
-) -> WorkloadRun:
-    init, ops = _irregular_inputs(scale, bench, size, mix, n_ops)
-    mod = _IRREGULAR_MODULES[bench]
-    if variant == "unversioned":
-        return mod.run_unversioned(config, init, ops)
-    return mod.run_versioned(config, init, ops, cores)
-
-
-def _run_regular(
-    bench: str,
-    config: MachineConfig,
-    scale: Scale,
-    size: str,
-    variant: str,
-    cores: int = 1,
-) -> WorkloadRun:
-    if bench == "matmul":
-        n = scale.matmul_small if size == "small" else scale.matmul_large
-    else:
-        n = scale.lev_small if size == "small" else scale.lev_large
-    mod = _REGULAR_MODULES[bench]
-    if variant == "unversioned":
-        return mod.run_unversioned(config, n, seed=_seed(scale, bench, size))
-    return mod.run_versioned(config, n, cores, seed=_seed(scale, bench, size))
 
 
 # ---------------------------------------------------------------------------
@@ -145,7 +90,11 @@ def table2_platform(config: MachineConfig = TABLE2) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def fig6_speedup(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
+def fig6_speedup(
+    scale: Scale = QUICK,
+    config: MachineConfig = TABLE2,
+    runner: SweepRunner | None = None,
+) -> dict:
     """Speedup of parallel versioned (max cores) over sequential unversioned.
 
     Small/large sizes x read-intensive (4R-1W) / write-intensive (1R-1W)
@@ -153,18 +102,27 @@ def fig6_speedup(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
     Levenshtein and matmul.
     """
     cores = scale.max_cores
-    rows = []
+    specs: list[RunSpec] = []
+    labels: list[tuple[str, str, str]] = []
     for bench in IRREGULAR:
         for size in ("small", "large"):
             for mix in (READ_INTENSIVE, WRITE_INTENSIVE):
-                u = _run_irregular(bench, config, scale, size, mix, "unversioned")
-                v = _run_irregular(bench, config, scale, size, mix, "versioned", cores)
-                rows.append((bench, size, mix.name, u.cycles / v.cycles))
+                specs.append(irregular_spec(
+                    bench, config, scale, size, mix.name, "unversioned"))
+                specs.append(irregular_spec(
+                    bench, config, scale, size, mix.name, "versioned", cores))
+                labels.append((bench, size, mix.name))
     for bench in REGULAR:
         for size in ("small", "large"):
-            u = _run_regular(bench, config, scale, size, "unversioned")
-            v = _run_regular(bench, config, scale, size, "versioned", cores)
-            rows.append((bench, size, "-", u.cycles / v.cycles))
+            specs.append(regular_spec(bench, config, scale, size, "unversioned"))
+            specs.append(regular_spec(bench, config, scale, size, "versioned", cores))
+            labels.append((bench, size, "-"))
+
+    results = run_sweep(specs, runner)
+    rows = []
+    for i, (bench, size, mix) in enumerate(labels):
+        u, v = results[2 * i], results[2 * i + 1]
+        rows.append((bench, size, mix, u.cycles / v.cycles))
     from .report import format_bars
 
     bars = format_bars(
@@ -187,25 +145,33 @@ def fig6_speedup(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def fig7_scalability(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
+def fig7_scalability(
+    scale: Scale = QUICK,
+    config: MachineConfig = TABLE2,
+    runner: SweepRunner | None = None,
+) -> dict:
     """Self-speedup of versioned runs, large read-intensive inputs."""
+
+    def spec_for(bench: str, cores: int) -> RunSpec:
+        if bench in IRREGULAR:
+            return irregular_spec(bench, config, scale, "large",
+                                  READ_INTENSIVE.name, "versioned", cores)
+        return regular_spec(bench, config, scale, "large", "versioned", cores)
+
+    specs: list[RunSpec] = []
+    for bench in ALL_BENCHMARKS:
+        specs.append(spec_for(bench, 1))
+        specs.extend(spec_for(bench, c) for c in scale.core_counts)
+
+    results = run_sweep(specs, runner)
     rows = []
     series: dict[str, list[float]] = {}
-    for bench in ALL_BENCHMARKS:
-        if bench in IRREGULAR:
-            base = _run_irregular(bench, config, scale, "large", READ_INTENSIVE,
-                                  "versioned", 1)
-            runner: Callable[[int], WorkloadRun] = lambda c, b=bench: _run_irregular(
-                b, config, scale, "large", READ_INTENSIVE, "versioned", c
-            )
-        else:
-            base = _run_regular(bench, config, scale, "large", "versioned", 1)
-            runner = lambda c, b=bench: _run_regular(
-                b, config, scale, "large", "versioned", c
-            )
+    stride = 1 + len(scale.core_counts)
+    for bi, bench in enumerate(ALL_BENCHMARKS):
+        base = results[bi * stride]
         speedups = []
-        for cores in scale.core_counts:
-            run = runner(cores)
+        for ci, cores in enumerate(scale.core_counts):
+            run = results[bi * stride + 1 + ci]
             speedups.append(base.cycles / run.cycles)
             rows.append((bench, cores, base.cycles / run.cycles))
         series[bench] = speedups
@@ -229,29 +195,32 @@ def fig7_scalability(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> di
 # ---------------------------------------------------------------------------
 
 
-def fig8_snapshot_isolation(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
+def fig8_snapshot_isolation(
+    scale: Scale = QUICK,
+    config: MachineConfig = TABLE2,
+    runner: SweepRunner | None = None,
+) -> dict:
     """Versioned binary tree vs rwlock tree; 3:1 scan:insert, 3 scan ranges."""
-    mix = OpMix(reads=3, writes=1, name="3S-1W")
+    scan_ranges = (1, 8, 64)
+    specs: list[RunSpec] = []
+    for scan_range in scan_ranges:
+        specs.append(fig8_spec("versioned", config, scale, scan_range, 1))
+        specs.append(fig8_spec("rwlock", config, scale, scan_range, 1))
+        for cores in scale.core_counts:
+            specs.append(fig8_spec("versioned", config, scale, scan_range, cores))
+            specs.append(fig8_spec("rwlock", config, scale, scan_range, cores))
+
+    results = iter(run_sweep(specs, runner))
     rows = []
     ratios: dict[str, list[float]] = {}
-    self_speedups = {"versioned": [], "rwlock": []}
-    for scan_range in (1, 8, 64):
-        seed = _seed(scale, "fig8", scan_range)
-        init = initial_keys(
-            scale.fig8_elements, scale.fig8_elements * scale.key_space_factor, seed
-        )
-        ops = generate_ops(
-            scale.fig8_ops, mix, scale.fig8_elements * scale.key_space_factor,
-            seed, read_op=SCAN, scan_range=scan_range,
-        )
-        # Figure 8 measures scans and inserts only.
-        ops = [(op if op != "delete" else "insert", k, e) for op, k, e in ops]
-        v1 = binary_tree.run_versioned(config, init, ops, 1)
-        r1 = rwlock_tree.run_rwlock(config, init, ops, 1)
+    self_speedups: dict[str, list[float]] = {"versioned": [], "rwlock": []}
+    for scan_range in scan_ranges:
+        v1 = next(results)
+        r1 = next(results)
         ratio_series = []
         for cores in scale.core_counts:
-            v = binary_tree.run_versioned(config, init, ops, cores)
-            r = rwlock_tree.run_rwlock(config, init, ops, cores)
+            v = next(results)
+            r = next(results)
             ratio = r.cycles / v.cycles
             ratio_series.append(ratio)
             rows.append((scan_range, cores, ratio))
@@ -291,36 +260,49 @@ def fig8_snapshot_isolation(scale: Scale = QUICK, config: MachineConfig = TABLE2
 _FIG9_BASELINE_KIB = 32
 
 
-def fig9_l1_size(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
+def fig9_l1_size(
+    scale: Scale = QUICK,
+    config: MachineConfig = TABLE2,
+    runner: SweepRunner | None = None,
+) -> dict:
     """Relative speedup vs the 32 KB L1 baseline for U / 1T / NT runs."""
     sizes = sorted(set(scale.l1_sizes_kib) | {_FIG9_BASELINE_KIB})
     cores = scale.max_cores
     variants = ("U", "1T", f"{cores}T")
-    rows = []
 
-    def run(bench: str, variant: str, kib: int) -> WorkloadRun:
+    def spec_for(bench: str, variant: str, kib: int) -> RunSpec:
         cfg = config.with_l1_kib(kib)
         if bench in IRREGULAR:
             if variant == "U":
-                return _run_irregular(bench, cfg, scale, "large", READ_INTENSIVE,
-                                      "unversioned", n_ops=scale.sens_ops)
+                return irregular_spec(bench, cfg, scale, "large",
+                                      READ_INTENSIVE.name, "unversioned",
+                                      n_ops=scale.sens_ops)
             c = 1 if variant == "1T" else cores
-            return _run_irregular(bench, cfg, scale, "large", READ_INTENSIVE,
-                                  "versioned", c, n_ops=scale.sens_ops)
+            return irregular_spec(bench, cfg, scale, "large",
+                                  READ_INTENSIVE.name, "versioned", c,
+                                  n_ops=scale.sens_ops)
         if variant == "U":
-            return _run_regular(bench, cfg, scale, "large", "unversioned")
+            return regular_spec(bench, cfg, scale, "large", "unversioned")
         c = 1 if variant == "1T" else cores
-        return _run_regular(bench, cfg, scale, "large", "versioned", c)
+        return regular_spec(bench, cfg, scale, "large", "versioned", c)
 
+    specs: list[RunSpec] = []
     for bench in ALL_BENCHMARKS:
         for variant in variants:
-            baseline = run(bench, variant, _FIG9_BASELINE_KIB)
+            specs.append(spec_for(bench, variant, _FIG9_BASELINE_KIB))
+            specs.extend(spec_for(bench, variant, kib)
+                         for kib in sizes if kib != _FIG9_BASELINE_KIB)
+
+    results = iter(run_sweep(specs, runner))
+    rows = []
+    for bench in ALL_BENCHMARKS:
+        for variant in variants:
+            baseline = next(results)
             for kib in sizes:
                 if kib == _FIG9_BASELINE_KIB:
                     rel = 0.0
                 else:
-                    r = run(bench, variant, kib)
-                    rel = baseline.cycles / r.cycles - 1.0
+                    rel = baseline.cycles / next(results).cycles - 1.0
                 rows.append((bench, variant, kib, rel))
     return {
         "rows": rows,
@@ -338,23 +320,36 @@ def fig9_l1_size(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def fig10_latency(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
+def fig10_latency(
+    scale: Scale = QUICK,
+    config: MachineConfig = TABLE2,
+    runner: SweepRunner | None = None,
+) -> dict:
     """Slowdown from +2..+10 cycles per versioned operation (1T and NT)."""
     cores = scale.max_cores
-    rows = []
 
-    def run(bench: str, c: int, extra: int) -> WorkloadRun:
+    def spec_for(bench: str, c: int, extra: int) -> RunSpec:
         cfg = config.with_versioned_latency(extra)
         if bench in IRREGULAR:
-            return _run_irregular(bench, cfg, scale, "large", READ_INTENSIVE,
-                                  "versioned", c, n_ops=scale.sens_ops)
-        return _run_regular(bench, cfg, scale, "large", "versioned", c)
+            return irregular_spec(bench, cfg, scale, "large",
+                                  READ_INTENSIVE.name, "versioned", c,
+                                  n_ops=scale.sens_ops)
+        return regular_spec(bench, cfg, scale, "large", "versioned", c)
 
+    variants = ((1, "1T"), (cores, f"{cores}T"))
+    specs: list[RunSpec] = []
     for bench in ALL_BENCHMARKS:
-        for c, tag in ((1, "1T"), (cores, f"{cores}T")):
-            base = run(bench, c, 0)
+        for c, _tag in variants:
+            specs.append(spec_for(bench, c, 0))
+            specs.extend(spec_for(bench, c, extra) for extra in scale.latencies)
+
+    results = iter(run_sweep(specs, runner))
+    rows = []
+    for bench in ALL_BENCHMARKS:
+        for _c, tag in variants:
+            base = next(results)
             for extra in scale.latencies:
-                r = run(bench, c, extra)
+                r = next(results)
                 rows.append((bench, tag, extra, base.cycles / r.cycles - 1.0))
     return {
         "rows": rows,
@@ -372,27 +367,30 @@ def fig10_latency(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def gc_overhead(scale: Scale = QUICK, config: MachineConfig = TABLE2) -> dict:
+def gc_overhead(
+    scale: Scale = QUICK,
+    config: MachineConfig = TABLE2,
+    runner: SweepRunner | None = None,
+) -> dict:
     """Sequential list workload under tight / ample / no-sorting configs.
 
     The paper: a tight configuration triggering 135 GC phases was 0.1%
     slower than one with enough free blocks to never collect, which was
     itself 0.1% slower than a no-version-sorting configuration.
     """
-    import dataclasses
 
-    seed = _seed(scale, "gc")
-    init = initial_keys(scale.gc_list_elements, scale.gc_list_elements * 8, seed)
-    ops = generate_ops(scale.gc_ops, WRITE_INTENSIVE, scale.gc_list_elements * 8, seed)
+    def cfg_with(**kw) -> MachineConfig:
+        return dataclasses.replace(config, num_cores=1, **kw)
 
-    def run_with(**kw) -> WorkloadRun:
-        cfg = dataclasses.replace(config, num_cores=1, **kw)
-        return linked_list.run_versioned(cfg, init, ops, 1)
-
-    tight = run_with(free_list_blocks=96, gc_watermark=64)
-    ample = run_with(free_list_blocks=1 << 17, gc_watermark=8)
-    nosort = run_with(free_list_blocks=1 << 17, gc_watermark=8,
-                      sorted_version_lists=False)
+    tight, ample, nosort = run_sweep(
+        [
+            gc_spec(cfg_with(free_list_blocks=96, gc_watermark=64), scale),
+            gc_spec(cfg_with(free_list_blocks=1 << 17, gc_watermark=8), scale),
+            gc_spec(cfg_with(free_list_blocks=1 << 17, gc_watermark=8,
+                             sorted_version_lists=False), scale),
+        ],
+        runner,
+    )
 
     rows = [
         ("tight (GC active)", tight.cycles, tight.stats.gc_phases,

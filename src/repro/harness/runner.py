@@ -1,0 +1,305 @@
+"""Parallel sweep executor with a deterministic on-disk result cache.
+
+Every figure of the paper's evaluation is a sweep of *independent*
+simulations — benchmark x size x op-mix x core-count x config.  Each
+simulation is seeded and self-contained, so the rows it produces do not
+depend on where (or in which process) it runs.  That makes the sweep
+embarrassingly parallel and memoisable:
+
+- :class:`SweepRunner` fans a list of :class:`RunSpec` out over a
+  ``ProcessPoolExecutor`` (worker count from ``REPRO_JOBS``, default
+  ``os.cpu_count()``) and reassembles results in the order the specs were
+  given — the paper order — so parallel output is **bit-identical** to
+  the serial path.
+- :class:`ResultCache` memoises finished runs as JSON under
+  ``.repro_cache/<code-version>/``, keyed by a stable hash of the spec.
+  Re-running a figure only simulates what changed; editing any file under
+  ``src/repro`` changes the code-version component and invalidates the
+  whole cache.  Escape hatches: ``REPRO_CACHE=0`` or ``--no-cache``.
+- Duplicate specs inside one sweep are deduplicated before execution
+  (several figures reuse their baseline run at multiple points).
+
+The actual simulation entry points live in :mod:`repro.harness.sweeps`;
+a :class:`RunSpec` names one of them plus picklable keyword arguments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..errors import ConfigError
+
+#: Default cache directory (under the current working directory).
+CACHE_DIR_NAME = ".repro_cache"
+
+
+# ---------------------------------------------------------------------------
+# Specs and results.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One self-contained simulation: a sweep function plus its arguments.
+
+    ``params`` is a tuple of ``(name, value)`` pairs sorted by name so
+    equal specs compare, hash and ``repr`` identically — the repr is the
+    cache identity.  Values must be picklable (they cross the process
+    pool) and have deterministic reprs (dataclasses, strings, numbers).
+    """
+
+    fn: str
+    params: tuple[tuple[str, Any], ...]
+
+
+def make_spec(fn: str, **params: Any) -> RunSpec:
+    """Build a :class:`RunSpec` with canonically ordered parameters."""
+    return RunSpec(fn, tuple(sorted(params.items())))
+
+
+class StatsView:
+    """Attribute access over a plain stats dict (picklable, JSON-able).
+
+    Mirrors the fields and derived rates of
+    :meth:`repro.sim.stats.SimStats.snapshot`, so harness code written
+    against ``run.stats.gc_phases``-style access works unchanged on
+    results that crossed a process or cache boundary.
+    """
+
+    def __init__(self, data: dict[str, Any]):
+        self.__dict__.update(data)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.__dict__)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StatsView) and self.__dict__ == other.__dict__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatsView({self.__dict__!r})"
+
+
+@dataclass
+class RunResult:
+    """Reduced, serialisable outcome of one simulation."""
+
+    cycles: int
+    stats: StatsView
+
+    @classmethod
+    def from_workload(cls, run: Any) -> "RunResult":
+        """Build from a :class:`~repro.workloads.base.WorkloadRun`."""
+        return cls(cycles=run.cycles, stats=StatsView(run.stats.snapshot()))
+
+    def to_json(self) -> dict[str, Any]:
+        return {"cycles": self.cycles, "stats": self.stats.as_dict()}
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "RunResult":
+        return cls(cycles=data["cycles"], stats=StatsView(data["stats"]))
+
+
+# ---------------------------------------------------------------------------
+# Code-version fingerprint (cache invalidation).
+# ---------------------------------------------------------------------------
+
+_code_version: str | None = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file; changes invalidate the cache."""
+    global _code_version
+    if _code_version is None:
+        h = hashlib.sha256()
+        pkg = Path(__file__).resolve().parents[1]
+        for path in sorted(pkg.rglob("*.py")):
+            h.update(path.relative_to(pkg).as_posix().encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_version = h.hexdigest()[:16]
+    return _code_version
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache.
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """JSON result files under ``<root>/<code-version>/<spec-hash>.json``."""
+
+    def __init__(self, root: str | Path | None = None, version: str | None = None):
+        env_root = os.environ.get("REPRO_CACHE_DIR")
+        self.root = Path(root if root is not None else (env_root or CACHE_DIR_NAME))
+        self.version = version or code_version()
+
+    def path_for(self, spec: RunSpec) -> Path:
+        digest = hashlib.sha256(repr(spec).encode()).hexdigest()[:32]
+        return self.root / self.version / f"{digest}.json"
+
+    def load(self, spec: RunSpec) -> RunResult | None:
+        try:
+            data = json.loads(self.path_for(spec).read_text())
+        except (OSError, ValueError):
+            return None
+        if data.get("spec") != repr(spec):
+            return None  # hash collision or corrupted file: treat as miss
+        try:
+            return RunResult.from_json(data)
+        except (KeyError, TypeError):
+            return None
+
+    def store(self, spec: RunSpec, result: RunResult) -> None:
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"spec": repr(spec), **result.to_json()}
+        # Write-then-rename so concurrent sweeps never see partial files.
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+
+
+# ---------------------------------------------------------------------------
+# The sweep runner.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunnerStats:
+    """Cumulative accounting across every sweep a runner executed."""
+
+    requested: int = 0
+    deduped: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+
+    def snapshot(self) -> "RunnerStats":
+        return RunnerStats(self.requested, self.deduped, self.cache_hits, self.simulated)
+
+    def since(self, earlier: "RunnerStats") -> "RunnerStats":
+        return RunnerStats(
+            self.requested - earlier.requested,
+            self.deduped - earlier.deduped,
+            self.cache_hits - earlier.cache_hits,
+            self.simulated - earlier.simulated,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.simulated} simulated, {self.cache_hits} cached, "
+            f"{self.deduped} deduped of {self.requested} runs"
+        )
+
+
+def _jobs_from_env() -> int:
+    raw = os.environ.get("REPRO_JOBS")
+    if raw:
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+        if jobs < 1:
+            raise ConfigError("REPRO_JOBS must be >= 1")
+        return jobs
+    return os.cpu_count() or 1
+
+
+def _cache_enabled_by_env() -> bool:
+    return os.environ.get("REPRO_CACHE", "1").strip().lower() not in (
+        "0", "false", "off", "no",
+    )
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one spec in this process (also the pool-worker entry point)."""
+    from . import sweeps  # local import: sweeps imports this module
+
+    return sweeps.execute(spec)
+
+
+class SweepRunner:
+    """Executes sweeps of :class:`RunSpec` with caching and a process pool.
+
+    ``jobs`` defaults to ``REPRO_JOBS`` or the host core count; caching
+    defaults to on unless ``REPRO_CACHE`` disables it.  Results are always
+    returned in spec order, so output is independent of worker count.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        use_cache: bool | None = None,
+        cache_dir: str | Path | None = None,
+    ):
+        self.jobs = jobs if jobs is not None else _jobs_from_env()
+        if self.jobs < 1:
+            raise ConfigError("jobs must be >= 1")
+        if use_cache is None:
+            use_cache = _cache_enabled_by_env()
+        self.cache = ResultCache(cache_dir) if use_cache else None
+        self.stats = RunnerStats()
+
+    def run(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+        """Run every spec; returns results aligned with ``specs``."""
+        self.stats.requested += len(specs)
+        positions: dict[RunSpec, list[int]] = {}
+        for i, spec in enumerate(specs):
+            positions.setdefault(spec, []).append(i)
+        self.stats.deduped += len(specs) - len(positions)
+
+        results: list[RunResult | None] = [None] * len(specs)
+        missing: list[RunSpec] = []
+        for spec in positions:
+            cached = self.cache.load(spec) if self.cache is not None else None
+            if cached is not None:
+                self.stats.cache_hits += 1
+                for i in positions[spec]:
+                    results[i] = cached
+            else:
+                missing.append(spec)
+
+        for spec, result in zip(missing, self._execute_all(missing)):
+            self.stats.simulated += 1
+            if self.cache is not None:
+                self.cache.store(spec, result)
+            for i in positions[spec]:
+                results[i] = result
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _execute_all(self, specs: list[RunSpec]) -> list[RunResult]:
+        if self.jobs > 1 and len(specs) > 1:
+            workers = min(self.jobs, len(specs))
+            # chunksize=1: individual runs vary by orders of magnitude
+            # (large/32-core vs small/1-core), so fine-grained dispatch
+            # keeps the pool balanced.
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(execute_spec, specs, chunksize=1))
+        return [execute_spec(spec) for spec in specs]
+
+
+_default_runner: SweepRunner | None = None
+
+
+def get_runner(runner: SweepRunner | None = None) -> SweepRunner:
+    """Return ``runner``, or the lazily created process-wide default."""
+    global _default_runner
+    if runner is not None:
+        return runner
+    if _default_runner is None:
+        _default_runner = SweepRunner()
+    return _default_runner
+
+
+def run_sweep(
+    specs: Sequence[RunSpec], runner: SweepRunner | None = None
+) -> list[RunResult]:
+    """Convenience wrapper: run ``specs`` on ``runner`` or the default."""
+    return get_runner(runner).run(specs)

@@ -1,0 +1,248 @@
+"""Picklable simulation entry points for the sweep runner.
+
+Each ``sim_*`` function is a module-level callable that rebuilds its
+entire workload from the spec parameters (config, scale, seed
+coordinates), runs one simulation, and returns a reduced
+:class:`~repro.harness.runner.RunResult`.  Keeping them self-contained is
+what lets :class:`~repro.harness.runner.SweepRunner` execute them in any
+process, in any order, with bit-identical results: every input is derived
+from a deterministic seed, never from ambient state.
+
+The ``_seed`` / ``_irregular_inputs`` / ``_run_irregular`` /
+``_run_regular`` helpers historically lived in
+:mod:`repro.harness.experiments` and are re-exported from there.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..config import MachineConfig
+from ..errors import ConfigError
+from ..workloads import binary_tree, hash_table, levenshtein, linked_list, matmul, rb_tree
+from ..workloads import rwlock_tree
+from ..workloads.base import WorkloadRun
+from ..workloads.opgen import (
+    OpMix,
+    READ_INTENSIVE,
+    SCAN,
+    WRITE_INTENSIVE,
+    generate_ops,
+    initial_keys,
+)
+from .presets import Scale
+from .runner import RunResult, RunSpec, make_spec
+
+_IRREGULAR_MODULES = {
+    "linked_list": linked_list,
+    "binary_tree": binary_tree,
+    "hash_table": hash_table,
+    "rb_tree": rb_tree,
+}
+_REGULAR_MODULES = {"levenshtein": levenshtein, "matmul": matmul}
+
+#: Op mixes addressable by name (specs carry the name, not the object).
+MIXES = {READ_INTENSIVE.name: READ_INTENSIVE, WRITE_INTENSIVE.name: WRITE_INTENSIVE}
+
+#: Figure 8's 3:1 scan:insert mix.
+FIG8_MIX = OpMix(reads=3, writes=1, name="3S-1W")
+
+
+def _seed(scale: Scale, *parts: object) -> int:
+    """Deterministic seed from the experiment coordinates.
+
+    Uses crc32 rather than ``hash()`` — the latter is randomized per
+    process, which would make every pytest invocation (and every pool
+    worker) run different workloads.
+    """
+    digest = zlib.crc32(repr(parts).encode())
+    return (scale.seed + digest) % (1 << 31)
+
+
+def _irregular_inputs(
+    scale: Scale, bench: str, size: str, mix: OpMix, n_ops: int | None = None
+) -> tuple[list[int], list[tuple[str, int, int]]]:
+    elements = scale.small_elements if size == "small" else scale.large_elements
+    seed = _seed(scale, bench, size, mix.name)
+    init = initial_keys(elements, elements * scale.key_space_factor, seed)
+    ops = generate_ops(
+        n_ops or scale.n_ops, mix, elements * scale.key_space_factor, seed
+    )
+    return init, ops
+
+
+def _run_irregular(
+    bench: str,
+    config: MachineConfig,
+    scale: Scale,
+    size: str,
+    mix: OpMix,
+    variant: str,
+    cores: int = 1,
+    n_ops: int | None = None,
+) -> WorkloadRun:
+    init, ops = _irregular_inputs(scale, bench, size, mix, n_ops)
+    mod = _IRREGULAR_MODULES[bench]
+    if variant == "unversioned":
+        return mod.run_unversioned(config, init, ops)
+    return mod.run_versioned(config, init, ops, cores)
+
+
+def _run_regular(
+    bench: str,
+    config: MachineConfig,
+    scale: Scale,
+    size: str,
+    variant: str,
+    cores: int = 1,
+) -> WorkloadRun:
+    if bench == "matmul":
+        n = scale.matmul_small if size == "small" else scale.matmul_large
+    else:
+        n = scale.lev_small if size == "small" else scale.lev_large
+    mod = _REGULAR_MODULES[bench]
+    if variant == "unversioned":
+        return mod.run_unversioned(config, n, seed=_seed(scale, bench, size))
+    return mod.run_versioned(config, n, cores, seed=_seed(scale, bench, size))
+
+
+# ---------------------------------------------------------------------------
+# Sweep entry points (must stay picklable, module-level, deterministic).
+# ---------------------------------------------------------------------------
+
+
+def sim_irregular(
+    bench: str,
+    config: MachineConfig,
+    scale: Scale,
+    size: str,
+    mix: str,
+    variant: str,
+    cores: int = 1,
+    n_ops: int | None = None,
+) -> RunResult:
+    """One irregular-structure run (Figures 6/7/9/10 and ablations)."""
+    if mix not in MIXES:
+        raise ConfigError(f"unknown op mix {mix!r}; choose from {sorted(MIXES)}")
+    run = _run_irregular(bench, config, scale, size, MIXES[mix], variant, cores, n_ops)
+    return RunResult.from_workload(run)
+
+
+def sim_regular(
+    bench: str,
+    config: MachineConfig,
+    scale: Scale,
+    size: str,
+    variant: str,
+    cores: int = 1,
+) -> RunResult:
+    """One regular-workload run (Levenshtein or matmul)."""
+    run = _run_regular(bench, config, scale, size, variant, cores)
+    return RunResult.from_workload(run)
+
+
+def sim_fig8(
+    structure: str,
+    config: MachineConfig,
+    scale: Scale,
+    scan_range: int,
+    cores: int,
+) -> RunResult:
+    """One Figure 8 run: versioned tree or rwlock tree, 3:1 scan:insert."""
+    seed = _seed(scale, "fig8", scan_range)
+    init = initial_keys(
+        scale.fig8_elements, scale.fig8_elements * scale.key_space_factor, seed
+    )
+    ops = generate_ops(
+        scale.fig8_ops, FIG8_MIX, scale.fig8_elements * scale.key_space_factor,
+        seed, read_op=SCAN, scan_range=scan_range,
+    )
+    # Figure 8 measures scans and inserts only.
+    ops = [(op if op != "delete" else "insert", k, e) for op, k, e in ops]
+    if structure == "versioned":
+        run = binary_tree.run_versioned(config, init, ops, cores)
+    elif structure == "rwlock":
+        run = rwlock_tree.run_rwlock(config, init, ops, cores)
+    else:
+        raise ConfigError(f"unknown fig8 structure {structure!r}")
+    return RunResult.from_workload(run)
+
+
+def sim_gc(config: MachineConfig, scale: Scale) -> RunResult:
+    """One Section IV-F GC run; the free-list knobs ride in the config."""
+    seed = _seed(scale, "gc")
+    init = initial_keys(scale.gc_list_elements, scale.gc_list_elements * 8, seed)
+    ops = generate_ops(scale.gc_ops, WRITE_INTENSIVE, scale.gc_list_elements * 8, seed)
+    run = linked_list.run_versioned(config, init, ops, 1)
+    return RunResult.from_workload(run)
+
+
+RUNNERS = {
+    "irregular": sim_irregular,
+    "regular": sim_regular,
+    "fig8": sim_fig8,
+    "gc": sim_gc,
+}
+
+
+def execute(spec: RunSpec) -> RunResult:
+    """Dispatch a :class:`RunSpec` to its registered entry point."""
+    try:
+        fn = RUNNERS[spec.fn]
+    except KeyError:
+        raise ConfigError(
+            f"unknown sweep function {spec.fn!r}; choose from {sorted(RUNNERS)}"
+        ) from None
+    return fn(**dict(spec.params))
+
+
+# ---------------------------------------------------------------------------
+# Spec constructors (the harness-facing vocabulary).
+# ---------------------------------------------------------------------------
+
+
+def irregular_spec(
+    bench: str,
+    config: MachineConfig,
+    scale: Scale,
+    size: str,
+    mix: str,
+    variant: str,
+    cores: int = 1,
+    n_ops: int | None = None,
+) -> RunSpec:
+    return make_spec(
+        "irregular", bench=bench, config=config, scale=scale, size=size,
+        mix=mix, variant=variant, cores=cores, n_ops=n_ops,
+    )
+
+
+def regular_spec(
+    bench: str,
+    config: MachineConfig,
+    scale: Scale,
+    size: str,
+    variant: str,
+    cores: int = 1,
+) -> RunSpec:
+    return make_spec(
+        "regular", bench=bench, config=config, scale=scale, size=size,
+        variant=variant, cores=cores,
+    )
+
+
+def fig8_spec(
+    structure: str,
+    config: MachineConfig,
+    scale: Scale,
+    scan_range: int,
+    cores: int,
+) -> RunSpec:
+    return make_spec(
+        "fig8", structure=structure, config=config, scale=scale,
+        scan_range=scan_range, cores=cores,
+    )
+
+
+def gc_spec(config: MachineConfig, scale: Scale) -> RunSpec:
+    return make_spec("gc", config=config, scale=scale)

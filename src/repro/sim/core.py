@@ -45,6 +45,14 @@ class Core:
         self._blocked_op: tuple | None = None
         self._block_start: int = 0
         self.busy_cycles = 0
+        # Pre-bound continuations: the retire path schedules one event per
+        # retired op, and allocating a fresh closure (or bound method) for
+        # each is pure churn — the core is in-order, so at most one resume
+        # and one retry are ever outstanding.
+        self._resume_value: Any = None
+        self._resume_cb = self._resume
+        self._retry_cb = self._retry
+        self._begin_next_cb = self._begin_next
 
     # -- task intake ----------------------------------------------------------
 
@@ -57,7 +65,7 @@ class Core:
             raise SimulationError(f"core {self.core_id} already started")
         self._started = True
         if self.queue:
-            self.sim.schedule(0, self._begin_next)
+            self.sim.schedule(0, self._begin_next_cb)
 
     @property
     def idle(self) -> bool:
@@ -85,7 +93,8 @@ class Core:
         self._gen = task.make_generator()
         self.machine.tracker.begin(task.task_id)
         self.machine.stats.tasks_started += 1
-        self.sim.schedule(TASK_BEGIN_CYCLES, lambda: self._advance(None))
+        self._resume_value = None
+        self.sim.schedule(TASK_BEGIN_CYCLES, self._resume_cb)
 
     def _finish_task(self, result: Any) -> None:
         task = self.current
@@ -97,9 +106,19 @@ class Core:
         self.current = None
         self._gen = None
         if self.queue:
-            self.sim.schedule(TASK_END_CYCLES, self._begin_next)
+            self.sim.schedule(TASK_END_CYCLES, self._begin_next_cb)
 
     # -- execution --------------------------------------------------------------
+
+    def _resume(self) -> None:
+        value = self._resume_value
+        self._resume_value = None
+        self._advance(value)
+
+    def _retry(self) -> None:
+        op = self._blocked_op
+        assert op is not None
+        self._execute(op, retry=True)
 
     def _advance(self, send_value: Any) -> None:
         assert self._gen is not None
@@ -134,7 +153,8 @@ class Core:
             self.machine.stats.versioned_stall_cycles += stall
             self._blocked_op = None
         self.busy_cycles += latency
-        self.sim.schedule(latency, lambda: self._advance(result))
+        self._resume_value = result
+        self.sim.schedule(latency, self._resume_cb)
 
     def _park(self, op: tuple, sig: StallSignal, retry: bool) -> None:
         if self._blocked_op is None:
@@ -144,7 +164,7 @@ class Core:
                 self.machine.stats.root_load_stalls += 1
             self._block_start = self.sim.now
         self._blocked_op = op
-        self.machine.manager.add_waiter(sig.vaddr, lambda: self._execute(op, retry=True))
+        self.machine.manager.add_waiter(sig.vaddr, self._retry_cb)
 
     # -- op dispatch --------------------------------------------------------------
 
@@ -200,10 +220,13 @@ class Core:
     def _current_tid(self) -> int | None:
         return self.current.task_id if self.current is not None else None
 
+    def _rw_grant(self, lat: int) -> None:
+        """Grant continuation: resume the generator ``lat`` cycles out."""
+        self._resume_value = None
+        self.sim.schedule(lat, self._resume_cb)
+
     def _rw_acquire(self, lock, mode: str) -> tuple[int, Any]:
-        granted = lock.try_acquire(
-            self.core_id, mode, lambda lat: self.sim.schedule(lat, lambda: self._advance(None))
-        )
+        granted = lock.try_acquire(self.core_id, mode, self._rw_grant)
         if granted is None:
             # Parked in the lock's queue; continuation fires on grant.
             # Raising StallSignal would double-register; instead return a

@@ -124,6 +124,41 @@ def test_run_not_reentrant():
     assert len(errors) == 1
 
 
+def test_step_not_reentrant_from_run():
+    """Regression: step() used to bypass the _running guard run() enforces."""
+    sim = Simulator()
+    errors = []
+
+    def bad():
+        try:
+            sim.step()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(0, bad)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_step_not_reentrant_from_step():
+    sim = Simulator()
+    errors = []
+
+    def bad():
+        try:
+            sim.step()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(0, bad)
+    sim.schedule(1, lambda: None)
+    assert sim.step() is True
+    assert len(errors) == 1
+    # The guard clears afterwards: stepping resumes normally.
+    assert sim.step() is True
+    assert sim.step() is False
+
+
 def test_returns_executed_count():
     sim = Simulator()
     for i in range(7):

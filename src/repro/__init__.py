@@ -11,7 +11,9 @@ The package provides:
 - the task runtime and the Figure 1 library API (:mod:`repro.runtime`),
 - the six evaluation workloads (:mod:`repro.workloads`),
 - a software (real threads) O-structure runtime (:mod:`repro.sw`),
-- the experiment harness regenerating every figure (:mod:`repro.harness`).
+- the experiment harness regenerating every figure (:mod:`repro.harness`),
+- a differential-oracle + invariant sanitizer (:mod:`repro.check`,
+  enabled with ``MachineConfig(checked=True)`` or ``--check``).
 
 Quickstart::
 
@@ -52,6 +54,7 @@ from .runtime.rwlock import SimRWLock
 from .sim.machine import Machine, run_tasks
 from .sim.stats import SimStats
 from .sim.trace import Tracer
+from .check import CheckViolation, Sanitizer, check_invariants
 
 __version__ = "1.0.0"
 
@@ -72,6 +75,9 @@ __all__ = [
     "new_mstructure",
     "SimRWLock",
     "Tracer",
+    "CheckViolation",
+    "Sanitizer",
+    "check_invariants",
     "ReproError",
     "ConfigError",
     "SimulationError",

@@ -7,33 +7,62 @@ Usage::
     python -m repro fig6 [--scale quick|paper] [--jobs N] [--no-cache]
     python -m repro fig7 fig8 fig9 fig10 gc
     python -m repro all --scale quick
+    python -m repro check                  # sanitizer stress harness
+    python -m repro fig6 --check           # any target under the sanitizer
 
 Sweeps fan out over a process pool (``--jobs`` / ``REPRO_JOBS``, default:
 all host cores) and memoise finished runs under ``.repro_cache/`` so a
 re-run only simulates what changed (``--no-cache`` / ``REPRO_CACHE=0`` to
 disable).
+
+``--check`` runs every simulation with ``MachineConfig(checked=True)``:
+the :mod:`repro.check` sanitizer diffs each versioned op against the
+software reference model and validates structural invariants, failing
+loudly on any divergence.  The dedicated ``check`` target runs the
+random-schedule stress harness across all six workloads; a non-zero
+violation count makes the process exit non-zero (CI smoke job).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
+from .config import TABLE2, MachineConfig
 from .errors import ConfigError
 from .harness import experiments
 from .harness.presets import get_scale
 from .harness.runner import SweepRunner
 
 EXPERIMENTS = {
-    "table2": lambda scale, runner: experiments.table2_platform(),
-    "fig6": lambda scale, runner: experiments.fig6_speedup(scale, runner=runner),
-    "fig7": lambda scale, runner: experiments.fig7_scalability(scale, runner=runner),
-    "fig8": lambda scale, runner: experiments.fig8_snapshot_isolation(scale, runner=runner),
-    "fig9": lambda scale, runner: experiments.fig9_l1_size(scale, runner=runner),
-    "fig10": lambda scale, runner: experiments.fig10_latency(scale, runner=runner),
-    "gc": lambda scale, runner: experiments.gc_overhead(scale, runner=runner),
+    "table2": lambda scale, runner, config: experiments.table2_platform(),
+    "fig6": lambda scale, runner, config: experiments.fig6_speedup(
+        scale, config=config, runner=runner
+    ),
+    "fig7": lambda scale, runner, config: experiments.fig7_scalability(
+        scale, config=config, runner=runner
+    ),
+    "fig8": lambda scale, runner, config: experiments.fig8_snapshot_isolation(
+        scale, config=config, runner=runner
+    ),
+    "fig9": lambda scale, runner, config: experiments.fig9_l1_size(
+        scale, config=config, runner=runner
+    ),
+    "fig10": lambda scale, runner, config: experiments.fig10_latency(
+        scale, config=config, runner=runner
+    ),
+    "gc": lambda scale, runner, config: experiments.gc_overhead(
+        scale, config=config, runner=runner
+    ),
 }
+
+
+def _run_check_target(scale, config: MachineConfig, budget: int | None):
+    from .check.stress import run_check
+
+    return run_check(scale, config, budget=budget)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -44,7 +73,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "targets",
         nargs="+",
-        help=f"experiments to run: {', '.join(EXPERIMENTS)}, 'all', or 'list'",
+        help=(
+            f"experiments to run: {', '.join(EXPERIMENTS)}, 'check', "
+            f"'all', or 'list'"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -70,19 +102,41 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="result cache location (default: REPRO_CACHE_DIR or .repro_cache/)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "run simulations under the repro.check sanitizer "
+            "(differential oracle + invariant checkpoints; ~2x host time)"
+        ),
+    )
+    parser.add_argument(
+        "--check-budget",
+        type=int,
+        default=None,
+        metavar="OPS",
+        help="ops per random schedule for the 'check' target (CI smoke)",
+    )
     args = parser.parse_args(argv)
 
+    known = list(EXPERIMENTS) + ["check"]
     if args.targets == ["list"]:
-        for name in EXPERIMENTS:
+        for name in known:
             print(name)
         return 0
 
-    targets = list(EXPERIMENTS) if "all" in args.targets else args.targets
-    unknown = [t for t in targets if t not in EXPERIMENTS]
+    targets = known if "all" in args.targets else args.targets
+    unknown = [t for t in targets if t not in known]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
     scale = get_scale(args.scale)
+    config = TABLE2
+    if args.check:
+        config = dataclasses.replace(config, checked=True)
+        # Checked runs trip the cache's code-hash anyway, but caching a
+        # sanitizer pass would also hide repeat-run violations.
+        args.no_cache = True
     try:
         runner = SweepRunner(
             jobs=args.jobs,
@@ -91,13 +145,21 @@ def main(argv: list[str] | None = None) -> int:
         )
     except ConfigError as exc:
         parser.error(str(exc))
+    violations = 0
     for name in targets:
         before = runner.stats.snapshot()
         start = time.perf_counter()
-        result = EXPERIMENTS[name](scale, runner)
+        if name == "check":
+            result = _run_check_target(scale, config, args.check_budget)
+            violations += result["violations"]
+        else:
+            result = EXPERIMENTS[name](scale, runner, config)
         elapsed = time.perf_counter() - start
         print(result["text"])
         print(f"[{name}: {elapsed:.1f}s; {runner.stats.since(before).describe()}]\n")
+    if violations:
+        print(f"SANITIZER: {violations} violation(s) detected", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,355 @@
+"""The sanitizer: op-level differential checking plus invariant checkpoints.
+
+:class:`Sanitizer` attaches to a machine by shadowing the manager's seven
+versioned operations (and ``free_ostructure``) with instance-attribute
+wrappers.  Each wrapper lets the hardware model run first, then replays
+the op against the software reference via the
+:class:`~repro.check.oracle.DifferentialOracle`; every ``interval``
+checked ops the structural invariants of
+:mod:`repro.check.invariants` are validated as well.  A GC reclaim hook
+audits Section III-B safety for every reclaimed block before mirroring
+the reclaim into the reference.
+
+Because the wrappers are instance attributes, the manager's *internal*
+calls are checked too — a renaming ``unlock_version`` resolves
+``self.store_version`` to the wrapped version, so the rename's store is
+mirrored exactly once, in order.
+
+On any disagreement a :class:`CheckViolation` is raised carrying a
+structured report: the violated facts, the offending op, the simulated
+cycle, the tail of the auto-attached :class:`~repro.sim.trace.Tracer`
+(the interleaving *is* the bug report), and the wait-graph post-mortem.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..errors import (
+    NotLockedError,
+    ProtectionFault,
+    SimulationError,
+    VersionExistsError,
+)
+from ..ostruct import isa
+from ..ostruct.manager import StallSignal
+from .invariants import check_invariants
+from .oracle import DifferentialOracle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.machine import Machine
+
+
+class CheckViolation(SimulationError):
+    """The sanitizer observed a divergence or invariant violation."""
+
+    def __init__(
+        self,
+        kind: str,
+        problems: list[str],
+        *,
+        op: tuple | None = None,
+        cycle: int = 0,
+        ops_checked: int = 0,
+        trace_tail: list[str] | None = None,
+        post_mortem: str = "",
+    ):
+        self.kind = kind
+        self.problems = list(problems)
+        self.op = op
+        self.cycle = cycle
+        self.ops_checked = ops_checked
+        self.trace_tail = list(trace_tail or [])
+        self.post_mortem = post_mortem
+        super().__init__(self.render())
+
+    def __reduce__(self):
+        # Keyword-only fields need explicit reconstruction, or crossing a
+        # process-pool boundary re-raises a TypeError instead of this.
+        return (
+            _rebuild_violation,
+            (
+                self.kind,
+                self.problems,
+                self.op,
+                self.cycle,
+                self.ops_checked,
+                self.trace_tail,
+                self.post_mortem,
+            ),
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"sanitizer violation [{self.kind}] at cycle {self.cycle} "
+            f"({self.ops_checked} ops checked)"
+        ]
+        if self.op is not None:
+            lines.append(f"  op: {self.op!r}")
+        for p in self.problems:
+            lines.append(f"  - {p}")
+        if self.trace_tail:
+            lines.append("  trace tail:")
+            lines.extend(f"    {t}" for t in self.trace_tail)
+        if self.post_mortem:
+            lines.append("  wait graph:")
+            lines.extend(f"    {t}" for t in self.post_mortem.splitlines())
+        return "\n".join(lines)
+
+
+def _rebuild_violation(kind, problems, op, cycle, ops_checked, trace_tail, post_mortem):
+    return CheckViolation(
+        kind,
+        problems,
+        op=op,
+        cycle=cycle,
+        ops_checked=ops_checked,
+        trace_tail=trace_tail,
+        post_mortem=post_mortem,
+    )
+
+
+class Sanitizer:
+    """Differential + invariant checker wired into one machine."""
+
+    #: Manager attributes shadowed by wrappers.
+    _WRAPPED = (
+        "load_version",
+        "load_latest",
+        "store_version",
+        "lock_load_version",
+        "lock_load_latest",
+        "unlock_version",
+        "free_ostructure",
+    )
+
+    def __init__(
+        self,
+        machine: "Machine",
+        *,
+        interval: int = 256,
+        trace_tail: int = 24,
+    ):
+        self.machine = machine
+        self.oracle = DifferentialOracle()
+        #: Structural invariants are validated every ``interval`` checked
+        #: ops (0 disables periodic checkpoints; the final sweep remains).
+        self.interval = interval
+        self.trace_tail = trace_tail
+        self.ops_checked = 0
+        self.checkpoints_run = 0
+        mgr = machine.manager
+        self._orig = {name: getattr(mgr, name) for name in self._WRAPPED}
+        for name in self._WRAPPED:
+            setattr(mgr, name, getattr(self, f"_{name}"))
+        machine.gc.reclaim_hooks.append(self._on_reclaim)
+        # Keep an interleaving record for violation reports, but never
+        # displace a tracer/hook the user installed first.
+        self.tracer = None
+        if machine.trace_hook is None:
+            from ..sim.trace import Tracer
+
+            self.tracer = Tracer(machine, capacity=4096, only_versioned=True)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def uninstall(self) -> None:
+        """Restore the unwrapped manager (fault-injection tests)."""
+        mgr = self.machine.manager
+        for name in self._WRAPPED:
+            if getattr(mgr, name, None) == getattr(self, f"_{name}"):
+                delattr(mgr, name)
+        if self._on_reclaim in self.machine.gc.reclaim_hooks:
+            self.machine.gc.reclaim_hooks.remove(self._on_reclaim)
+        if self.tracer is not None:
+            self.tracer.detach()
+
+    def finish(self) -> None:
+        """Terminal sweep: full invariants plus a whole-state model diff."""
+        problems = check_invariants(self.machine)
+        problems += self.oracle.compare_all(self.machine.manager)
+        self._require(not problems, "final-sweep", problems, None)
+        self.checkpoints_run += 1
+
+    def check_now(self) -> None:
+        """On-demand checkpoint (equivalent to the periodic one)."""
+        self._checkpoint(force=True)
+
+    # -- internals -----------------------------------------------------------
+
+    def _require(
+        self, ok: bool, kind: str, problems: list[str], op: tuple | None
+    ) -> None:
+        if ok:
+            return
+        from ..sim import waitgraph
+
+        tail = (
+            [str(e) for e in self.tracer.last(self.trace_tail)]
+            if self.tracer is not None
+            else []
+        )
+        try:
+            pm = waitgraph.post_mortem(self.machine)
+        except Exception as exc:  # pragma: no cover - diagnostics only
+            pm = f"(post-mortem unavailable: {exc})"
+        raise CheckViolation(
+            kind,
+            problems,
+            op=op,
+            cycle=self.machine.sim.now,
+            ops_checked=self.ops_checked,
+            trace_tail=tail,
+            post_mortem=pm,
+        )
+
+    def _checkpoint(self, force: bool = False) -> None:
+        self.ops_checked += 1
+        if not force and (
+            self.interval <= 0 or self.ops_checked % self.interval
+        ):
+            return
+        problems = check_invariants(self.machine)
+        self._require(not problems, "invariant-checkpoint", problems, None)
+        self.checkpoints_run += 1
+
+    # -- wrapped operations --------------------------------------------------
+
+    def _load_version(self, core_id: int, vaddr: int, version: int):
+        op = (isa.LOAD_VERSION, vaddr, version)
+        try:
+            lat, value = self._orig["load_version"](core_id, vaddr, version)
+        except StallSignal:
+            problems = self.oracle.expect_blocked_exact(vaddr, version)
+            self._require(not problems, "divergence", problems, op)
+            raise
+        problems = self.oracle.expect_exact(vaddr, version, value)
+        self._require(not problems, "divergence", problems, op)
+        self._checkpoint()
+        return lat, value
+
+    def _load_latest(self, core_id: int, vaddr: int, cap: int):
+        op = (isa.LOAD_LATEST, vaddr, cap)
+        try:
+            lat, (version, value) = self._orig["load_latest"](
+                core_id, vaddr, cap
+            )
+        except StallSignal:
+            problems = self.oracle.expect_blocked_latest(vaddr, cap)
+            self._require(not problems, "divergence", problems, op)
+            raise
+        problems = self.oracle.expect_latest(vaddr, cap, version, value)
+        self._require(not problems, "divergence", problems, op)
+        self._checkpoint()
+        return lat, (version, value)
+
+    def _store_version(
+        self,
+        core_id: int,
+        vaddr: int,
+        version: int,
+        value: Any,
+        task_id: int | None = None,
+    ):
+        op = (isa.STORE_VERSION, vaddr, version, value)
+        try:
+            result = self._orig["store_version"](
+                core_id, vaddr, version, value, task_id
+            )
+        except VersionExistsError:
+            problems = self.oracle.expect_store_conflict(vaddr, version)
+            self._require(not problems, "divergence", problems, op)
+            raise
+        problems = self.oracle.mirror_store(vaddr, version, value)
+        self._require(not problems, "divergence", problems, op)
+        self._checkpoint()
+        return result
+
+    def _lock_load_version(
+        self, core_id: int, vaddr: int, version: int, task_id: int
+    ):
+        op = (isa.LOCK_LOAD_VERSION, vaddr, version)
+        try:
+            lat, value = self._orig["lock_load_version"](
+                core_id, vaddr, version, task_id
+            )
+        except StallSignal:
+            problems = self.oracle.expect_blocked_exact(vaddr, version)
+            self._require(not problems, "divergence", problems, op)
+            raise
+        problems = self.oracle.mirror_lock_exact(vaddr, version, task_id, value)
+        self._require(not problems, "divergence", problems, op)
+        self._checkpoint()
+        return lat, value
+
+    def _lock_load_latest(self, core_id: int, vaddr: int, cap: int, task_id: int):
+        op = (isa.LOCK_LOAD_LATEST, vaddr, cap)
+        try:
+            lat, (version, value) = self._orig["lock_load_latest"](
+                core_id, vaddr, cap, task_id
+            )
+        except StallSignal:
+            problems = self.oracle.expect_blocked_latest(vaddr, cap)
+            self._require(not problems, "divergence", problems, op)
+            raise
+        problems = self.oracle.mirror_lock_latest(
+            vaddr, cap, task_id, version, value
+        )
+        self._require(not problems, "divergence", problems, op)
+        self._checkpoint()
+        return lat, (version, value)
+
+    def _unlock_version(
+        self,
+        core_id: int,
+        vaddr: int,
+        version: int,
+        task_id: int,
+        new_version: int | None = None,
+    ):
+        op = (isa.UNLOCK_VERSION, vaddr, version, new_version)
+        try:
+            # A renaming unlock calls the manager's own store_version,
+            # which resolves to the wrapped one: the rename is mirrored
+            # there, so mirror_unlock below only releases the lock.
+            result = self._orig["unlock_version"](
+                core_id, vaddr, version, task_id, new_version
+            )
+        except NotLockedError:
+            problems = self.oracle.expect_not_locked(vaddr, version, task_id)
+            self._require(not problems, "divergence", problems, op)
+            raise
+        problems = self.oracle.mirror_unlock(vaddr, version, task_id)
+        self._require(not problems, "divergence", problems, op)
+        self._checkpoint()
+        return result
+
+    def _free_ostructure(self, vaddr: int):
+        op = ("free_ostructure", vaddr)
+        try:
+            count = self._orig["free_ostructure"](vaddr)
+        except ProtectionFault:
+            # The hardware refused (waiters or locked versions); the
+            # reference keeps its state and nothing needs mirroring.
+            raise
+        problems = self.oracle.mirror_free(vaddr, count)
+        self._require(not problems, "divergence", problems, op)
+        self._checkpoint()
+        return count
+
+    # -- GC auditing ---------------------------------------------------------
+
+    def _on_reclaim(self, vaddr: int, version: int) -> None:
+        # Live tasks above max_seen are future consumers the renaming
+        # protocols address by exact version; the GC contract protects
+        # latest-reads only for ids within the begun window.
+        problems = self.oracle.check_reclaim(
+            vaddr,
+            version,
+            self.machine.tracker.live_ids,
+            max_protected=self.machine.tracker.max_seen,
+        )
+        self._require(
+            not problems, "gc-safety", problems, ("gc_reclaim", vaddr, version)
+        )
+        self.oracle.mirror_reclaim(vaddr, version)

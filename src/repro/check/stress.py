@@ -1,0 +1,226 @@
+"""Stress harness: random schedules through fully-checked machines.
+
+Every workload runs on a machine with ``checked=True`` — all versioned
+ops diffed against the software reference, invariants validated at
+checkpoints — and its output is additionally validated against the
+workload's own sequential oracle (``opgen.reference_results`` for the
+irregular structures, the numpy/DP references for the regular ones).
+Schedules are drawn from a seeded generator, so a failure reproduces
+from its printed (workload, seed) pair.
+
+``run_check`` is the CLI entry point behind ``python -m repro check``
+and the CI sanitizer smoke job.  It returns the usual experiment dict
+(``rows`` + ``text``) and never raises on divergence: violations are
+captured per-run so one bad schedule doesn't hide the rest, and the
+caller turns a non-zero ``violations`` count into a failing exit code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+from ..config import TABLE2, MachineConfig
+from ..errors import ReproError
+from ..harness.presets import QUICK, Scale
+from ..workloads import (
+    binary_tree,
+    hash_table,
+    levenshtein,
+    linked_list,
+    matmul,
+    opgen,
+    rb_tree,
+)
+from .sanitizer import CheckViolation
+
+#: Irregular workloads: module plus opgen-driven validation.
+IRREGULAR = {
+    "linked_list": linked_list,
+    "binary_tree": binary_tree,
+    "hash_table": hash_table,
+    "rb_tree": rb_tree,
+}
+
+#: Regular workloads have their own reference functions.
+REGULAR = ("matmul", "levenshtein")
+
+
+def checked_config(config: MachineConfig = TABLE2) -> MachineConfig:
+    """A copy of ``config`` with the sanitizer enabled."""
+    return dataclasses.replace(config, checked=True)
+
+
+def check_irregular(
+    name: str,
+    *,
+    config: MachineConfig = TABLE2,
+    seed: int = 0,
+    elements: int = 32,
+    n_ops: int = 64,
+    cores: int = 4,
+    mix: opgen.OpMix = opgen.READ_INTENSIVE,
+) -> dict[str, Any]:
+    """One checked run of an irregular workload; returns a result row."""
+    mod = IRREGULAR[name]
+    key_space = max(4 * elements, 16)
+    initial = opgen.initial_keys(elements, key_space, seed)
+    ops = opgen.generate_ops(n_ops, mix, key_space, seed)
+    row = {
+        "workload": name,
+        "seed": seed,
+        "mix": mix.name,
+        "ops": n_ops,
+        "cores": cores,
+        "problems": [],
+    }
+    try:
+        run = mod.run_versioned(checked_config(config), initial, ops, cores)
+    except CheckViolation as exc:
+        row["problems"].append(str(exc))
+        return row
+    expected_results, expected_final = opgen.reference_results(initial, ops)
+    if list(run.results) != list(expected_results):
+        bad = sum(
+            1 for a, b in zip(run.results, expected_results) if a != b
+        )
+        row["problems"].append(
+            f"{name} seed {seed}: {bad}/{n_ops} op results differ from "
+            f"the sequential reference"
+        )
+    if run.final_state is not None and list(run.final_state) != list(
+        expected_final
+    ):
+        row["problems"].append(
+            f"{name} seed {seed}: final contents differ from the "
+            f"sequential reference"
+        )
+    row["versioned_ops"] = run.stats.versioned_ops
+    return row
+
+
+def check_regular(
+    name: str,
+    *,
+    config: MachineConfig = TABLE2,
+    seed: int = 0,
+    size: int = 8,
+    cores: int = 4,
+) -> dict[str, Any]:
+    """One checked run of matmul or levenshtein; returns a result row."""
+    row = {
+        "workload": name,
+        "seed": seed,
+        "size": size,
+        "cores": cores,
+        "problems": [],
+    }
+    try:
+        if name == "matmul":
+            run = matmul.run_versioned(
+                checked_config(config), size, cores, seed=seed
+            )
+            a, b, c = matmul.make_inputs(size, seed)
+            ok = np.array_equal(run.final_state, matmul.reference(a, b, c))
+        elif name == "levenshtein":
+            run = levenshtein.run_versioned(
+                checked_config(config), size, cores, seed=seed
+            )
+            s1, s2 = levenshtein.make_strings(size, seed)
+            ok = run.final_state == levenshtein.reference(s1, s2)
+        else:
+            raise ReproError(f"unknown regular workload {name!r}")
+    except CheckViolation as exc:
+        row["problems"].append(str(exc))
+        return row
+    if not ok:
+        row["problems"].append(
+            f"{name} seed {seed} size {size}: result differs from the "
+            f"reference"
+        )
+    row["versioned_ops"] = run.stats.versioned_ops
+    return row
+
+
+def run_check(
+    scale: Scale = QUICK,
+    config: MachineConfig = TABLE2,
+    *,
+    budget: int | None = None,
+    schedules: int = 2,
+) -> dict[str, Any]:
+    """Run every workload through the sanitizer on random schedules.
+
+    ``budget`` caps the op count of each irregular schedule (defaults to
+    half the scale's ``n_ops``); ``schedules`` is the number of random
+    (seed, mix) draws per irregular workload.  Returns ``{"rows",
+    "text", "violations", "ops_checked"}``.
+    """
+    n_ops = budget if budget is not None else max(32, scale.n_ops // 2)
+    elements = max(16, min(scale.small_elements, 2 * n_ops))
+    rng = np.random.default_rng(scale.seed)
+    rows: list[dict[str, Any]] = []
+    for name in IRREGULAR:
+        for i in range(schedules):
+            seed = int(rng.integers(0, 2**31))
+            mix = (
+                opgen.READ_INTENSIVE if i % 2 == 0 else opgen.WRITE_INTENSIVE
+            )
+            rows.append(
+                check_irregular(
+                    name,
+                    config=config,
+                    seed=seed,
+                    elements=elements,
+                    n_ops=n_ops,
+                    cores=4,
+                    mix=mix,
+                )
+            )
+    reg_size = {
+        "matmul": max(4, scale.matmul_small // 2),
+        "levenshtein": max(8, scale.lev_small // 2),
+    }
+    for name in REGULAR:
+        rows.append(
+            check_regular(
+                name,
+                config=config,
+                seed=int(rng.integers(0, 2**31)),
+                size=reg_size[name],
+                cores=4,
+            )
+        )
+
+    violations = sum(len(r["problems"]) for r in rows)
+    ops_checked = sum(r.get("versioned_ops", 0) for r in rows)
+    lines = [
+        "Sanitizer stress check (differential oracle + invariants)",
+        f"  scale={scale.name} schedules={schedules} "
+        f"irregular-ops={n_ops} elements={elements}",
+        "",
+    ]
+    for r in rows:
+        status = "ok" if not r["problems"] else "FAIL"
+        detail = (
+            f"mix={r['mix']}" if "mix" in r else f"size={r['size']}"
+        )
+        lines.append(
+            f"  {r['workload']:<12} seed={r['seed']:<11} {detail:<10} "
+            f"versioned_ops={r.get('versioned_ops', '-'):<7} {status}"
+        )
+        for p in r["problems"]:
+            lines.extend(f"    ! {ln}" for ln in p.splitlines())
+    lines.append("")
+    lines.append(
+        f"  {len(rows)} runs, {ops_checked} versioned ops checked, "
+        f"{violations} violation(s)"
+    )
+    return {
+        "rows": rows,
+        "text": "\n".join(lines),
+        "violations": violations,
+        "ops_checked": ops_checked,
+    }

@@ -107,6 +107,12 @@ class MachineConfig:
     free_list_refills: int | None = None
     #: Blocks added per OS refill trap.
     refill_blocks: int = 1 << 12
+    #: Run the machine under the :mod:`repro.check` sanitizer: every
+    #: versioned op is diffed against the software reference model and
+    #: structural invariants are validated at checkpoints.  Purely a
+    #: debugging/validation mode — simulated timing is unchanged, host
+    #: time roughly doubles.
+    checked: bool = False
 
     def __post_init__(self) -> None:
         _require(self.num_cores > 0, "need at least one core")

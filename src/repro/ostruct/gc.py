@@ -9,12 +9,21 @@ same location is created.  The collector keeps two lists:
   collection phase begins.
 
 When a phase starts, the shadowed list moves to the pending list and the
-*youngest* (highest-id) active task ``Y`` is recorded.  Once the *oldest*
-(lowest-id) active task is younger than ``Y``, every pending block is
-unreachable — rule 1 means any reader of a shadowed version has an id
-below the shadowing version (created by a task <= Y), and rule 3 forbids
-spawning tasks below the lowest active id — so the pending list drains to
-the free list.  Phases are triggered by the free-list watermark.
+*youngest* task id ``Y`` the tracker has ever seen begin is recorded.
+Once the *oldest* (lowest-id) live task is younger than ``Y``, every
+pending block is unreachable — rule 1 means any reader of a shadowed
+version has an id below the shadowing version, every pre-phase shadowing
+version was created by a task that has begun (so its id is <= Y), and
+rule 3 forbids spawning tasks below the lowest live id — so the pending
+list drains to the free list.  Phases are triggered by the free-list
+watermark.
+
+The bound must be ``tracker.max_seen``, not the highest *currently
+active* id: a high-id task that already ended may have shadowed versions
+that lower-id tasks — queued but not yet begun — can still read.
+Bounding by the highest active id lets the phase finalize as soon as
+those older tasks are the only ones left, reclaiming versions they are
+about to load (caught by the repro.check sanitizer's reclaim audit).
 
 Newly shadowed versions registered during a phase go to the shadowed list
 as usual and wait for the next phase; that is exactly what makes the
@@ -84,6 +93,18 @@ class GarbageCollector:
         self._shadowed.append((block, vlist))
         self.stats.shadowed_registered += 1
 
+    def forget_address(self, vaddr: int) -> int:
+        """Drop every queued (block, list) pair of ``vaddr``; returns count.
+
+        Called when an O-structure is freed wholesale: the free path
+        releases every block itself, so entries left on the shadowed or
+        pending lists would double-release those paddrs in a later phase.
+        """
+        before = len(self._shadowed) + len(self._pending)
+        self._shadowed = [it for it in self._shadowed if it[1].vaddr != vaddr]
+        self._pending = [it for it in self._pending if it[1].vaddr != vaddr]
+        return before - len(self._shadowed) - len(self._pending)
+
     # -- phases ---------------------------------------------------------------
 
     def maybe_trigger(self) -> None:
@@ -103,12 +124,12 @@ class GarbageCollector:
         self._phase_active = True
         self._pending = self._shadowed
         self._shadowed = []
-        youngest = self.tracker.highest_active()
-        # With no active tasks, bound by the highest id ever begun: any
-        # already-shadowed version was shadowed by a task at or below it.
-        self._recorded_youngest = (
-            youngest if youngest is not None else self.tracker.max_seen
-        )
+        # Bound by the highest id that ever *began* (see module docstring):
+        # every pre-phase shadowing version was created by a begun task, so
+        # max_seen dominates every shadowing id, while the highest
+        # currently-active id does not — an ended high-id task may have
+        # shadowed versions still readable by queued lower-id tasks.
+        self._recorded_youngest = self.tracker.max_seen
         self.stats.gc_phases += 1
         self._try_finalize()
 

@@ -512,6 +512,10 @@ class OStructureManager:
             self.free_list.release(block.paddr)
             self.hierarchy.invalidate_everywhere(block.paddr)
             count += 1
+        # Shadowed blocks of this address may still sit on the GC's
+        # queues; purge them or a later phase double-releases the paddrs
+        # just returned to the free list.
+        self.gc.forget_address(vaddr)
         self._memo_core = -1
         for core_id in range(self.config.num_cores):
             self._direct[core_id].pop(vaddr, None)

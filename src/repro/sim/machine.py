@@ -39,7 +39,16 @@ from .stats import SimStats
 class Machine:
     """The full simulated platform of Table II plus O-structure support."""
 
-    def __init__(self, config: MachineConfig | None = None):
+    def __init__(
+        self,
+        config: MachineConfig | None = None,
+        *,
+        checked: bool | None = None,
+        check_interval: int = 256,
+    ):
+        """``checked`` enables the :mod:`repro.check` sanitizer (defaults
+        to ``config.checked``); ``check_interval`` is the number of
+        versioned ops between structural-invariant checkpoints."""
         self.config = config or MachineConfig()
         self.sim = Simulator()
         self.stats = SimStats()
@@ -78,6 +87,14 @@ class Machine:
         self.trace_hook = None
         self._ran = False
         self._submitted = False
+        #: The repro.check sanitizer, when checked mode is on.
+        self.sanitizer = None
+        if self.config.checked if checked is None else checked:
+            # Imported here: repro.check wraps the manager built above,
+            # and importing it at module scope would be circular.
+            from ..check.sanitizer import Sanitizer
+
+            self.sanitizer = Sanitizer(self, interval=check_interval)
 
     # -- convenience constructors ------------------------------------------------
 
@@ -131,6 +148,8 @@ class Machine:
         self.stats.cycles = self.sim.now
         for core in self.cores:
             self.stats.per_core_cycles[core.core_id] = core.busy_cycles
+        if self.sanitizer is not None:
+            self.sanitizer.finish()
         return self.stats
 
     def _check_completion(self, max_cycles: int | None) -> None:

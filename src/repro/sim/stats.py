@@ -100,14 +100,24 @@ class SimStats:
             else 0.0
         )
 
-    def snapshot(self) -> dict[str, int | float]:
-        """A plain-dict copy of all counters (for reports and tests)."""
-        out: dict[str, int | float] = {}
+    def snapshot(self) -> dict:
+        """A plain-dict copy of all counters (for reports and tests).
+
+        ``per_core_cycles`` is copied with *string* keys so a snapshot
+        survives a JSON round trip through the result cache unchanged —
+        fresh and cached rows stay byte-identical.
+        """
+        out: dict = {}
         for f in fields(self):
             if f.name == "per_core_cycles":
                 continue
             out[f.name] = getattr(self, f.name)
+        out["per_core_cycles"] = {
+            str(core): cycles
+            for core, cycles in sorted(self.per_core_cycles.items())
+        }
         out["l1_hit_rate"] = self.l1_hit_rate
+        out["l1_miss_rate"] = self.l1_miss_rate
         out["l2_hit_rate"] = self.l2_hit_rate
         out["direct_hit_rate"] = self.direct_hit_rate
         out["versioned_stall_rate"] = self.versioned_stall_rate

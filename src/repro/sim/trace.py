@@ -70,7 +70,18 @@ _ADDRESSED = frozenset(
 
 
 class Tracer:
-    """Bounded ring-buffer trace of a machine's retired micro-ops."""
+    """Bounded ring-buffer trace of a machine's retired micro-ops.
+
+    Accounting invariant: every event that passes the filters counts
+    toward ``recorded``; once the ring is full each further event evicts
+    the oldest one and counts toward ``dropped``.  Hence at all times::
+
+        recorded == buffered + dropped
+
+    where ``buffered`` (``len(tracer)``) is what ``events()`` can still
+    replay.  ``dropped`` therefore counts *evicted-from-the-buffer*
+    events, not filtered-out ones — filtered events appear in no counter.
+    """
 
     def __init__(
         self,
@@ -159,7 +170,12 @@ class Tracer:
         return [e for e in self._buf if e.task == task_id]
 
     def summary(self) -> dict[str, Any]:
-        """Aggregate counts and latency statistics of recorded events."""
+        """Aggregate counts and latency statistics of recorded events.
+
+        The three counters satisfy ``recorded == buffered + dropped``
+        (see the class docstring); latency/stall aggregates cover only
+        the ``buffered`` events still in the ring.
+        """
         lat_total = sum(e.latency for e in self._buf)
         stalls = sum(1 for e in self._buf if e.stalled)
         return {

@@ -6,8 +6,10 @@ from machine state:
 
 - a blocked core waits on an O-structure address (its StallSignal);
 - that address is "held" by whichever tasks currently lock the version
-  the waiter needs (or by nobody, if the version simply does not exist —
-  a *missing-producer* wait, which is an edge to the void);
+  the waiter needs; with no holder, the wait is on an uncreated version,
+  which splits into two very different diagnoses: *producer pending* (a
+  live task could still create it — the wait may resolve) and *missing
+  producer* (no live task can — the hang is permanent);
 - task → core ownership closes the cycle.
 
 ``build_wait_graph`` returns the edges; ``find_cycles`` reports circular
@@ -17,13 +19,22 @@ networkx does the cycle detection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import networkx as nx
 
+from ..ostruct import isa
+
 if TYPE_CHECKING:  # pragma: no cover
     from .machine import Machine
+
+#: Stallable ops whose operand 2 names an exact version, and those where
+#: it is a cap.  Both layouts put the version/cap in ``op[2]`` (see the
+#: constructors in :mod:`repro.ostruct.isa`) — only the *meaning* of the
+#: operand differs between the exact and latest families.
+_EXACT_OPS = frozenset({isa.LOAD_VERSION, isa.LOCK_LOAD_VERSION, isa.UNLOCK_VERSION})
+_LATEST_OPS = frozenset({isa.LOAD_LATEST, isa.LOCK_LOAD_LATEST})
 
 
 @dataclass(frozen=True)
@@ -35,20 +46,30 @@ class WaitEdge:
     op: str
     vaddr: int
     #: Tasks holding locks on the version(s) the waiter needs; empty for
-    #: a missing-producer wait.
+    #: a wait on an uncreated version.
     holders: frozenset[int]
+    #: With no holder: live tasks that could still create the awaited
+    #: version (GC rule 1 bounds producers of version ``v`` to task ids
+    #: <= ``v``).  Empty means the version can never appear.
+    pending_producers: frozenset[int] = field(default_factory=frozenset)
 
     def describe(self) -> str:
+        prefix = (
+            f"core {self.waiter_core} (task {self.waiter_task}) waits on "
+            f"0x{self.vaddr:x} [{self.op}]"
+        )
         if self.holders:
             held = ", ".join(f"task {t}" for t in sorted(self.holders))
-            return (
-                f"core {self.waiter_core} (task {self.waiter_task}) waits on "
-                f"0x{self.vaddr:x} [{self.op}] held by {held}"
+            return f"{prefix} held by {held}"
+        if self.pending_producers:
+            pending = ", ".join(
+                f"task {t}" for t in sorted(self.pending_producers)
             )
-        return (
-            f"core {self.waiter_core} (task {self.waiter_task}) waits on "
-            f"0x{self.vaddr:x} [{self.op}] — no producer (version never created)"
-        )
+            return (
+                f"{prefix} — version uncreated, producer pending "
+                f"({pending} still live)"
+            )
+        return f"{prefix} — no producer (version never created, no live task can create it)"
 
 
 def _blocking_holders(machine: "Machine", vaddr: int, op: tuple) -> frozenset[int]:
@@ -58,15 +79,35 @@ def _blocking_holders(machine: "Machine", vaddr: int, op: tuple) -> frozenset[in
         return frozenset()
     kind = op[0]
     holders: set[int] = set()
-    if kind in ("load_version", "lock_load_version", "unlock_version"):
+    if kind in _EXACT_OPS:
         block, _ = lst.find_exact(op[2])
         if block is not None and block.locked_by is not None:
             holders.add(block.locked_by)
-    elif kind in ("load_latest", "lock_load_latest"):
+    elif kind in _LATEST_OPS:
         block, _ = lst.find_latest(op[2])
         if block is not None and block.locked_by is not None:
             holders.add(block.locked_by)
     return frozenset(holders)
+
+
+def _pending_producers(
+    machine: "Machine", waiter_task: int | None, op: tuple
+) -> frozenset[int]:
+    """Live tasks that could still create the version ``op`` waits for.
+
+    Rule 1 (version ids are task ids; renames target the id of the next
+    task in the hand-over chain) means version ``v`` can only be created
+    by a task with id <= ``v``.  The waiter itself is excluded — it is
+    blocked, so it will not produce anything.
+    """
+    if op[0] not in _EXACT_OPS and op[0] not in _LATEST_OPS:
+        return frozenset()
+    wanted = op[2]
+    return frozenset(
+        t
+        for t in machine.tracker.live_ids
+        if t <= wanted and t != waiter_task
+    )
 
 
 def build_wait_graph(machine: "Machine") -> list[WaitEdge]:
@@ -78,13 +119,20 @@ def build_wait_graph(machine: "Machine") -> list[WaitEdge]:
         op = core._blocked_op
         assert op is not None
         vaddr = op[1]
+        waiter_task = core.current.task_id if core.current else None
+        holders = _blocking_holders(machine, vaddr, op)
         edges.append(
             WaitEdge(
                 waiter_core=core.core_id,
-                waiter_task=core.current.task_id if core.current else None,
+                waiter_task=waiter_task,
                 op=op[0],
                 vaddr=vaddr,
-                holders=_blocking_holders(machine, vaddr, op),
+                holders=holders,
+                pending_producers=(
+                    _pending_producers(machine, waiter_task, op)
+                    if not holders
+                    else frozenset()
+                ),
             )
         )
     return edges
@@ -119,6 +167,11 @@ def post_mortem(machine: "Machine") -> str:
                 "LOCK CYCLE: " + " -> ".join(f"task {t}" for t in cycle)
                 + f" -> task {cycle[0]}"
             )
-    else:
+    elif any(not e.holders and not e.pending_producers for e in edges):
         lines.append("no lock cycle: missing producer(s) — check version wiring")
+    else:
+        lines.append(
+            "no lock cycle: producer task(s) still pending — the waits "
+            "could resolve if the producers were not themselves stuck"
+        )
     return "\n".join(lines)

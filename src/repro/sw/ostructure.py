@@ -5,6 +5,13 @@ operations of Section II-A are provided with blocking semantics delivered
 through a condition variable: loads of uncreated versions wait, loads of
 locked versions wait, lock attempts on locked versions wait.  Timeouts
 turn latent deadlocks into diagnosable errors instead of hangs.
+
+Besides the blocking API, each read/lock operation has a non-blocking
+``try_*`` twin that returns ``None`` where the blocking form would wait.
+Those probes exist for :mod:`repro.check`: the differential oracle runs
+single-threaded inside the simulator and asks "would this op complete
+right now?" instead of parking a thread.  Both forms share the same
+readiness predicates, so blocking and probing can never disagree.
 """
 
 from __future__ import annotations
@@ -21,6 +28,10 @@ from ..errors import (
 
 class SWTimeout(SimulationError):
     """A blocking operation exceeded its timeout (likely a protocol bug)."""
+
+
+#: Sentinel distinguishing "absent" from a stored ``None`` value.
+_MISSING = object()
 
 
 class SWOStructure:
@@ -43,6 +54,19 @@ class SWOStructure:
             if v <= cap and (best is None or v > best):
                 best = v
         return best
+
+    def _ready_exact(self, version: int) -> tuple[Any] | None:
+        """``(value,)`` if ``version`` exists and is unlocked, else None."""
+        if version in self._versions and version not in self._locked:
+            return (self._versions[version],)
+        return None
+
+    def _ready_latest(self, cap: int) -> tuple[int, Any] | None:
+        """``(version, value)`` of the loadable latest <= cap, else None."""
+        v = self._latest_at_or_below(cap)
+        if v is None or v in self._locked:
+            return None
+        return (v, self._versions[v])
 
     def _wait(self, predicate, timeout: float) -> Any:
         """Wait until ``predicate()`` returns non-None; condvar is held."""
@@ -71,13 +95,7 @@ class SWOStructure:
     def load_version(self, version: int, timeout: float = 10.0) -> Any:
         """LOAD-VERSION: blocks until ``version`` exists and is unlocked."""
         with self._changed:
-
-            def ready():
-                if version in self._versions and version not in self._locked:
-                    return (self._versions[version],)
-                return None
-
-            return self._wait(ready, timeout)[0]
+            return self._wait(lambda: self._ready_exact(version), timeout)[0]
 
     def load_latest(self, cap: int, timeout: float = 10.0) -> tuple[int, Any]:
         """LOAD-LATEST: highest version <= cap, blocking while locked.
@@ -86,25 +104,12 @@ class SWOStructure:
         waiting is picked up (the renaming-unlock handoff).
         """
         with self._changed:
-
-            def ready():
-                v = self._latest_at_or_below(cap)
-                if v is None or v in self._locked:
-                    return None
-                return (v, self._versions[v])
-
-            return self._wait(ready, timeout)
+            return self._wait(lambda: self._ready_latest(cap), timeout)
 
     def lock_load_version(self, version: int, task_id: int, timeout: float = 10.0) -> Any:
         """LOCK-LOAD-VERSION: exact load plus lock (atomic at grant time)."""
         with self._changed:
-
-            def ready():
-                if version in self._versions and version not in self._locked:
-                    return (self._versions[version],)
-                return None
-
-            value = self._wait(ready, timeout)[0]
+            value = self._wait(lambda: self._ready_exact(version), timeout)[0]
             self._locked[version] = task_id
             return value
 
@@ -113,14 +118,7 @@ class SWOStructure:
     ) -> tuple[int, Any]:
         """LOCK-LOAD-LATEST: capped load plus lock."""
         with self._changed:
-
-            def ready():
-                v = self._latest_at_or_below(cap)
-                if v is None or v in self._locked:
-                    return None
-                return (v, self._versions[v])
-
-            version, value = self._wait(ready, timeout)
+            version, value = self._wait(lambda: self._ready_latest(cap), timeout)
             self._locked[version] = task_id
             return version, value
 
@@ -142,11 +140,60 @@ class SWOStructure:
                 self._versions[new_version] = self._versions[version]
             self._changed.notify_all()
 
+    # -- non-blocking probes (differential-oracle support) --------------------
+
+    def try_load_version(self, version: int) -> tuple[Any] | None:
+        """``(value,)`` if LOAD-VERSION would complete now, else None."""
+        with self._lock:
+            return self._ready_exact(version)
+
+    def try_load_latest(self, cap: int) -> tuple[int, Any] | None:
+        """``(version, value)`` if LOAD-LATEST would complete now, else None."""
+        with self._lock:
+            return self._ready_latest(cap)
+
+    def try_lock_load_version(self, version: int, task_id: int) -> tuple[Any] | None:
+        """Atomically lock-and-load ``version`` iff it is ready now."""
+        with self._lock:
+            result = self._ready_exact(version)
+            if result is not None:
+                self._locked[version] = task_id
+            return result
+
+    def try_lock_load_latest(self, cap: int, task_id: int) -> tuple[int, Any] | None:
+        """Atomically lock-and-load the latest <= ``cap`` iff ready now."""
+        with self._lock:
+            result = self._ready_latest(cap)
+            if result is not None:
+                self._locked[result[0]] = task_id
+            return result
+
     # -- introspection / GC support --------------------------------------------------
 
     def versions(self) -> list[int]:
         with self._lock:
             return sorted(self._versions)
+
+    def dump(self) -> dict[int, tuple[Any, int | None]]:
+        """``version -> (value, locked_by)`` snapshot (oracle comparisons)."""
+        with self._lock:
+            return {
+                v: (val, self._locked.get(v)) for v, val in self._versions.items()
+            }
+
+    def drop_version(self, version: int) -> bool:
+        """Remove one version (mirrors a hardware GC reclaim).
+
+        Returns whether the version was present; refuses (raises) if the
+        version is currently locked — reclaiming a locked version is a
+        protocol violation on the hardware side too.
+        """
+        with self._changed:
+            if version in self._locked:
+                raise SimulationError(
+                    f"{self.name}: cannot drop locked version {version}"
+                )
+            return self._versions.pop(version, _MISSING) is not _MISSING
 
     def is_locked(self, version: int) -> bool:
         with self._lock:

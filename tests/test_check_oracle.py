@@ -1,0 +1,201 @@
+"""Tests for the SWOStructure probe API and the differential oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.oracle import DifferentialOracle
+from repro.errors import SimulationError
+from repro.sw.ostructure import SWOStructure
+
+ADDR = 0x1000
+
+
+class TestTryProbes:
+    def test_try_load_version(self):
+        sw = SWOStructure()
+        assert sw.try_load_version(1) is None
+        sw.store_version(1, "a")
+        assert sw.try_load_version(1) == ("a",)
+
+    def test_try_load_version_blocked_by_lock(self):
+        sw = SWOStructure()
+        sw.store_version(1, "a")
+        sw.lock_load_version(1, task_id=7)
+        assert sw.try_load_version(1) is None
+
+    def test_try_load_latest(self):
+        sw = SWOStructure()
+        assert sw.try_load_latest(5) is None
+        sw.store_version(1, "a")
+        sw.store_version(3, "c")
+        assert sw.try_load_latest(5) == (3, "c")
+        assert sw.try_load_latest(2) == (1, "a")
+        assert sw.try_load_latest(0) is None
+
+    def test_try_lock_load_version_locks_only_on_success(self):
+        sw = SWOStructure()
+        assert sw.try_lock_load_version(1, task_id=3) is None
+        assert not sw.is_locked(1)
+        sw.store_version(1, "a")
+        assert sw.try_lock_load_version(1, task_id=3) == ("a",)
+        assert sw.locker_of(1) == 3
+        # Second attempt observes the lock and does not clobber it.
+        assert sw.try_lock_load_version(1, task_id=4) is None
+        assert sw.locker_of(1) == 3
+
+    def test_try_lock_load_latest(self):
+        sw = SWOStructure()
+        sw.store_version(2, "b")
+        assert sw.try_lock_load_latest(9, task_id=5) == (2, "b")
+        assert sw.locker_of(2) == 5
+        assert sw.try_lock_load_latest(9, task_id=6) is None
+
+    def test_probes_agree_with_blocking_forms(self):
+        sw = SWOStructure()
+        sw.store_version(1, "a")
+        assert sw.try_load_version(1)[0] == sw.load_version(1)
+        assert sw.try_load_latest(4) == sw.load_latest(4)
+
+    def test_drop_version(self):
+        sw = SWOStructure()
+        sw.store_version(1, "a")
+        assert sw.drop_version(1) is True
+        assert sw.drop_version(1) is False
+        assert sw.versions() == []
+
+    def test_drop_locked_version_refused(self):
+        sw = SWOStructure()
+        sw.store_version(1, "a")
+        sw.lock_load_version(1, task_id=2)
+        with pytest.raises(SimulationError):
+            sw.drop_version(1)
+
+    def test_dump(self):
+        sw = SWOStructure()
+        sw.store_version(1, "a")
+        sw.store_version(2, "b")
+        sw.lock_load_version(2, task_id=9)
+        assert sw.dump() == {1: ("a", None), 2: ("b", 9)}
+
+
+class TestOracleMirrors:
+    def test_mirror_store_then_loads_agree(self):
+        o = DifferentialOracle()
+        assert o.mirror_store(ADDR, 1, "a") == []
+        assert o.expect_exact(ADDR, 1, "a") == []
+        assert o.expect_latest(ADDR, 5, 1, "a") == []
+
+    def test_duplicate_store_flagged(self):
+        o = DifferentialOracle()
+        o.mirror_store(ADDR, 1, "a")
+        assert o.mirror_store(ADDR, 1, "b")  # hw created a duplicate
+
+    def test_wrong_value_flagged(self):
+        o = DifferentialOracle()
+        o.mirror_store(ADDR, 1, "a")
+        assert o.expect_exact(ADDR, 1, "WRONG")
+        assert o.expect_latest(ADDR, 5, 1, "WRONG")
+
+    def test_serving_nonexistent_version_flagged(self):
+        o = DifferentialOracle()
+        problems = o.expect_exact(ADDR, 3, "ghost")
+        assert problems and "does not exist" in problems[0]
+
+    def test_stall_agreement(self):
+        o = DifferentialOracle()
+        assert o.expect_blocked_exact(ADDR, 1) == []
+        o.mirror_store(ADDR, 1, "a")
+        # Now a hw stall on version 1 would be a lost wake-up.
+        assert o.expect_blocked_exact(ADDR, 1)
+        assert o.expect_blocked_latest(ADDR, 5)
+        assert o.expect_blocked_latest(ADDR, 0) == []
+
+    def test_lock_mirroring_and_unlock(self):
+        o = DifferentialOracle()
+        o.mirror_store(ADDR, 1, "a")
+        assert o.mirror_lock_exact(ADDR, 1, 7, "a") == []
+        # While locked, plain loads must stall.
+        assert o.expect_blocked_exact(ADDR, 1) == []
+        assert o.mirror_unlock(ADDR, 1, 7) == []
+        assert o.expect_exact(ADDR, 1, "a") == []
+
+    def test_unlock_by_non_holder_flagged(self):
+        o = DifferentialOracle()
+        o.mirror_store(ADDR, 1, "a")
+        o.mirror_lock_exact(ADDR, 1, 7, "a")
+        assert o.mirror_unlock(ADDR, 1, 8)  # hw let the wrong task unlock
+        assert o.expect_not_locked(ADDR, 1, 7)  # hw refused the holder
+
+    def test_lock_latest_wrong_version_flagged(self):
+        o = DifferentialOracle()
+        o.mirror_store(ADDR, 1, "a")
+        o.mirror_store(ADDR, 3, "c")
+        assert o.mirror_lock_latest(ADDR, 9, 5, 1, "a")  # hw picked v1, ref v3
+        # The failed mirror must not leave the reference locked.
+        assert o.structs[ADDR].is_locked(3) is False
+
+    def test_check_reclaim_safety(self):
+        o = DifferentialOracle()
+        o.mirror_store(ADDR, 1, "a")
+        o.mirror_store(ADDR, 3, "c")
+        # Live task 2 reads latest<=2 == v1: reclaiming v1 is unsafe.
+        problems = o.check_reclaim(ADDR, 1, live_tasks=[2])
+        assert problems and "live task 2" in problems[0]
+        # With only task 4 live, v1 is shadowed by v3 and unreachable.
+        assert o.check_reclaim(ADDR, 1, live_tasks=[4]) == []
+
+    def test_check_reclaim_respects_protection_bound(self):
+        # The ticket-protocol shape: v71 renamed into existence by task
+        # 65 *for* mutator 71 shadows v65.  Queued readers 66..70 are
+        # above max_seen=65, so reclaiming v65 is within the GC contract.
+        o = DifferentialOracle()
+        o.mirror_store(ADDR, 65, "t65")
+        o.mirror_store(ADDR, 71, "t71")
+        live = [66, 67, 70]
+        assert o.check_reclaim(ADDR, 65, live, max_protected=65) == []
+        # Without the bound (or with the task inside the begun window),
+        # the same reclaim is a violation.
+        assert o.check_reclaim(ADDR, 65, live)
+        assert o.check_reclaim(ADDR, 65, live, max_protected=67)
+
+    def test_check_reclaim_latest_version_flagged(self):
+        o = DifferentialOracle()
+        o.mirror_store(ADDR, 2, "b")
+        problems = o.check_reclaim(ADDR, 2, live_tasks=[])
+        assert problems and "nothing shadows" in problems[0]
+
+    def test_check_reclaim_locked_flagged(self):
+        o = DifferentialOracle()
+        o.mirror_store(ADDR, 1, "a")
+        o.mirror_store(ADDR, 2, "b")
+        o.mirror_lock_exact(ADDR, 1, 7, "a")
+        assert any(
+            "locked" in p for p in o.check_reclaim(ADDR, 1, live_tasks=[])
+        )
+
+    def test_mirror_free_count_mismatch(self):
+        o = DifferentialOracle()
+        o.mirror_store(ADDR, 1, "a")
+        o.mirror_store(ADDR, 2, "b")
+        assert o.mirror_free(ADDR, 1)  # hw freed 1 block, ref had 2
+        o.mirror_store(ADDR, 1, "x")
+        assert o.mirror_free(ADDR, 1) == []
+
+    def test_compare_all_spots_extra_and_missing(self):
+        from tests.test_manager import Rig
+
+        rig = Rig()
+        o = DifferentialOracle()
+        rig.manager.store_version(0, rig.addr, 1, "a")
+        o.mirror_store(rig.addr, 1, "a")
+        assert o.compare_all(rig.manager) == []
+        # hw-only version.
+        rig.manager.store_version(0, rig.addr, 2, "b")
+        assert any("hw only" in p for p in o.compare_all(rig.manager))
+        o.mirror_store(rig.addr, 2, "b")
+        # reference-only version.
+        o.mirror_store(rig.addr + 4, 1, "z")
+        assert any(
+            "reference only" in p for p in o.compare_all(rig.manager)
+        )

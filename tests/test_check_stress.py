@@ -1,0 +1,67 @@
+"""Stress-harness tests: checked workload runs across random schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.stress import (
+    IRREGULAR,
+    check_irregular,
+    check_regular,
+    checked_config,
+    run_check,
+)
+from repro.config import TABLE2
+from repro.harness.presets import QUICK
+from repro.workloads import opgen
+
+
+def test_checked_config_flips_flag_only():
+    cfg = checked_config(TABLE2)
+    assert cfg.checked is True
+    assert cfg.num_cores == TABLE2.num_cores
+    assert TABLE2.checked is False  # original untouched
+
+
+@pytest.mark.parametrize("name", sorted(IRREGULAR))
+def test_irregular_clean(name):
+    row = check_irregular(name, seed=3, elements=12, n_ops=24, cores=2)
+    assert row["problems"] == []
+    assert row["versioned_ops"] > 0
+
+
+@pytest.mark.parametrize("name", ["matmul", "levenshtein"])
+def test_regular_clean(name):
+    row = check_regular(name, seed=3, size=6, cores=2)
+    assert row["problems"] == []
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=5, deadline=None)
+def test_random_schedules_clean(seed):
+    # Property: no schedule diverges from the reference model.
+    row = check_irregular(
+        "linked_list",
+        seed=seed,
+        elements=8,
+        n_ops=16,
+        cores=2,
+        mix=opgen.WRITE_INTENSIVE,
+    )
+    assert row["problems"] == []
+
+
+def test_run_check_smoke():
+    result = run_check(QUICK, TABLE2, budget=16, schedules=1)
+    assert result["violations"] == 0
+    assert result["ops_checked"] > 0
+    rows = result["rows"]
+    # One schedule per irregular workload plus the two regular ones.
+    assert {r["workload"] for r in rows} == set(IRREGULAR) | {
+        "matmul",
+        "levenshtein",
+    }
+    assert all(r["problems"] == [] for r in rows)
+    assert "0 violation" in result["text"] or "zero" in result["text"]

@@ -192,3 +192,142 @@ class TestTracker:
         assert t.max_seen == 7
         t.end(3)
         assert t.lowest_active() == 7
+
+
+class TestFinalizeEdges:
+    """Edge cases of ``_finalize``: kept blocks, bounds, freed addresses."""
+
+    def test_kept_locked_block_recollected_after_unlock(self, rig):
+        stored(rig, 2)
+        rig.manager.lock_load_version(0, rig.addr, 1, task_id=7)
+        rig.gc.start_phase()  # v1 locked -> kept for a later phase
+        assert rig.stats.gc_reclaimed == 0
+        assert rig.gc.shadowed_count == 1
+        assert not rig.gc.phase_active
+        rig.manager.unlock_version(0, rig.addr, 1, task_id=7)
+        rig.gc.start_phase()
+        assert rig.stats.gc_reclaimed == 1
+        assert rig.manager.versions_of(rig.addr) == [2]
+
+    def test_kept_head_block_recollected_once_shadowed_again(self, rig):
+        stored(rig, 1)
+        lst = rig.manager.lists[rig.addr]
+        # Defensive path: queue the current head (never happens through
+        # store_version, but _finalize must refuse to reclaim a head).
+        rig.gc.register_shadowed(lst.head, lst)
+        rig.gc.start_phase()
+        assert rig.stats.gc_reclaimed == 0
+        assert rig.gc.shadowed_count == 1
+        stored(rig, 1, start=2)  # now v1 really is shadowed by v2
+        rig.gc.start_phase()
+        assert rig.stats.gc_reclaimed == 1
+        assert rig.manager.versions_of(rig.addr) == [2]
+
+    def test_phase_with_no_active_tasks_bounds_by_max_seen(self, rig):
+        t = rig.tracker
+        t.register(2)
+        t.register(3)
+        t.begin(3)
+        stored(rig, 3)
+        t.end(3)
+        # No task is *executing*, but queued task 2 is live and max_seen
+        # is 3: the phase must hold its pending blocks for task 2.
+        rig.gc.start_phase()
+        assert rig.gc.phase_active
+        assert rig.stats.gc_reclaimed == 0
+        t.begin(2)
+        assert rig.manager.load_latest(0, rig.addr, 2)[1] == (2, 2)
+        t.end(2)
+        assert rig.stats.gc_reclaimed == 2
+        assert not rig.gc.phase_active
+
+    def test_ended_high_task_still_bounds_phase(self, rig):
+        # Regression: the phase bound must be max_seen, not the highest
+        # *currently active* id.  Task 3 begins, shadows v1, and ends
+        # before the phase starts; queued task 2 can still reach v1 via
+        # LOAD-LATEST(2), so v1 must survive until task 2 ends.
+        t = rig.tracker
+        for tid in (1, 2, 3):
+            t.register(tid)
+        t.begin(1)
+        t.begin(3)
+        rig.manager.store_version(0, rig.addr, 1, "a")
+        rig.manager.store_version(0, rig.addr, 3, "c")  # shadows v1
+        t.end(3)
+        rig.gc.start_phase()
+        t.end(1)
+        assert rig.stats.gc_reclaimed == 0
+        assert rig.gc.pending_count == 1
+        assert rig.manager.load_latest(0, rig.addr, 2)[1] == (1, "a")
+        t.begin(2)
+        t.end(2)
+        assert rig.stats.gc_reclaimed == 1
+        assert rig.manager.versions_of(rig.addr) == [3]
+
+
+class TestFreeInteraction:
+    """free_ostructure must purge GC queues (double-release regression)."""
+
+    def test_free_purges_shadowed_list(self, rig):
+        rig.tracker.begin(1)
+        stored(rig, 3)
+        assert rig.gc.shadowed_count == 2
+        rig.manager.free_ostructure(rig.addr)
+        assert rig.gc.shadowed_count == 0
+        before = rig.free_list.free_count
+        rig.gc.start_phase()  # nothing shadowed: no-op
+        rig.tracker.end(1)
+        assert rig.stats.gc_reclaimed == 0
+        assert rig.free_list.free_count == before
+        free = rig.free_list._free
+        assert len(free) == len(set(free))
+
+    def test_free_during_phase_purges_pending(self, rig):
+        rig.tracker.begin(1)
+        stored(rig, 3)
+        rig.gc.start_phase()
+        assert rig.gc.pending_count == 2
+        rig.manager.free_ostructure(rig.addr)
+        assert rig.gc.pending_count == 0
+        before = rig.free_list.free_count
+        rig.tracker.begin(2)
+        rig.tracker.end(1)  # phase finalizes with an empty pending list
+        assert not rig.gc.phase_active
+        assert rig.stats.gc_reclaimed == 0
+        assert rig.free_list.free_count == before
+        free = rig.free_list._free
+        assert len(free) == len(set(free))
+
+    def test_forget_address_returns_purge_count(self, rig):
+        rig.tracker.begin(1)
+        stored(rig, 4)
+        assert rig.gc.forget_address(rig.addr) == 3
+        assert rig.gc.forget_address(rig.addr) == 0
+
+
+class TestMemoSafety:
+    """The (core, vaddr) lookup memo must never serve a reclaimed entry."""
+
+    def test_reclaimed_version_not_served_from_memo(self, rig):
+        stored(rig, 3)
+        # Prime the memo and compressed line with v1 on core 0.
+        assert rig.manager.load_version(0, rig.addr, 1)[1] == 1
+        rig.gc.start_phase()  # reclaims v1 and v2
+        assert rig.stats.gc_reclaimed == 2
+        from repro.ostruct.manager import StallSignal
+
+        with pytest.raises(StallSignal):
+            rig.manager.load_version(0, rig.addr, 1)
+        with pytest.raises(StallSignal):
+            rig.manager.load_version(0, rig.addr, 2)
+        # The surviving head is still served, through any path.
+        assert rig.manager.load_version(0, rig.addr, 3)[1] == 3
+
+    def test_memo_not_stale_after_free_and_realloc(self, rig):
+        stored(rig, 2)
+        assert rig.manager.load_version(0, rig.addr, 1)[1] == 1
+        rig.manager.free_ostructure(rig.addr)
+        # Same vaddr, new structure: the old memo entry must not leak
+        # the freed block's value.
+        rig.manager.store_version(0, rig.addr, 1, "fresh")
+        assert rig.manager.load_version(0, rig.addr, 1)[1] == "fresh"

@@ -1,0 +1,55 @@
+"""Tests for SimStats.snapshot: completeness and JSON round-trip fidelity.
+
+Regression for the result-cache bug where snapshots omitted
+``per_core_cycles`` and ``l1_miss_rate``: cached rows then differed from
+fresh ones.  Snapshot dicts must survive ``json.dumps``/``loads``
+byte-identically, which is why ``per_core_cycles`` uses string keys.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import Machine, MachineConfig, Task, Versioned
+from repro.sim.stats import SimStats
+
+
+def test_snapshot_includes_per_core_cycles_and_miss_rate():
+    s = SimStats()
+    s.l1_hits = 3
+    s.l1_misses = 1
+    s.per_core_cycles.update({1: 20, 0: 10})
+    snap = s.snapshot()
+    assert snap["per_core_cycles"] == {"0": 10, "1": 20}
+    assert snap["l1_miss_rate"] == 0.25
+
+
+def test_snapshot_copies_rather_than_aliases():
+    s = SimStats()
+    s.per_core_cycles[0] = 10
+    snap = s.snapshot()
+    snap["per_core_cycles"]["0"] = 999
+    assert s.per_core_cycles[0] == 10
+
+
+def test_snapshot_json_round_trip_is_identity():
+    s = SimStats()
+    s.l1_hits = 7
+    s.per_core_cycles.update({0: 5, 3: 9})
+    snap = s.snapshot()
+    assert json.loads(json.dumps(snap)) == snap
+
+
+def test_machine_run_snapshot_covers_every_core():
+    m = Machine(MachineConfig(num_cores=3))
+    cell = Versioned(m.heap.alloc_versioned(1))
+
+    def prog(tid):
+        yield cell.store_ver(tid, tid)
+
+    m.submit([Task(0, prog), Task(1, prog), Task(2, prog)])
+    stats = m.run()
+    snap = stats.snapshot()
+    assert set(snap["per_core_cycles"]) == {"0", "1", "2"}
+    assert all(v > 0 for v in snap["per_core_cycles"].values())
+    assert snap["l1_miss_rate"] == stats.l1_miss_rate

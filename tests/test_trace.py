@@ -156,3 +156,24 @@ def test_event_str_is_readable():
     text = str(ev)
     assert "c1" in text and "t3" in text and "load_version" in text
     assert "0x40000000" in text
+
+
+def test_accounting_invariant_holds_under_eviction_and_filters():
+    # recorded == buffered + dropped at all times; filtered events
+    # appear in no counter.
+    m, cell, conv = simple_machine()
+    tracer = Tracer(m, capacity=3, only_versioned=True)
+
+    def prog(tid):
+        for i in range(5):
+            yield isa.compute(1)        # filtered: counts nowhere
+            yield cell.store_ver(i, i)  # recorded: 5 total, ring of 3
+
+    m.submit([Task(0, prog)])
+    m.run()
+    s = tracer.summary()
+    assert s["recorded"] == 5
+    assert s["buffered"] == 3
+    assert s["dropped"] == 2
+    assert s["recorded"] == s["buffered"] + s["dropped"]
+    assert len(tracer) == s["buffered"]

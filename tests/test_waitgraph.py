@@ -112,3 +112,62 @@ def test_three_way_cycle():
     run_to_deadlock(m)
     cycles = find_cycles(m)
     assert [1, 2, 3] in cycles
+
+
+def test_pending_producer_distinguished_from_missing():
+    # Task 1 waits on version 2, which live task 2 could still create:
+    # the diagnosis must say "producer pending", not "missing producer".
+    m = Machine(MachineConfig(num_cores=2))
+    cell = Versioned(m.heap.alloc_versioned(1))
+
+    def waiter(tid):
+        yield cell.load_ver(2)
+
+    def producer(tid):
+        yield isa.compute(10)
+        yield cell.load_ver(99)  # stuck itself; never stores v2
+
+    m.submit([Task(1, waiter), Task(2, producer)])
+    run_to_deadlock(m)
+    edges = {e.waiter_task: e for e in build_wait_graph(m)}
+    assert edges[1].holders == frozenset()
+    assert edges[1].pending_producers == frozenset({2})
+    # Task 2 waits on v99; live task 1 (id <= 99) is a candidate producer.
+    assert edges[2].pending_producers == frozenset({1})
+    report = post_mortem(m)
+    assert "producer pending" in report
+    assert "still pending" in report
+    assert "missing producer" not in report
+
+
+def test_waiter_not_its_own_pending_producer():
+    # A task cannot unblock itself: with no other live task the wait is
+    # a true missing producer even though the waiter's id is in range.
+    m = Machine(MachineConfig(num_cores=1))
+    cell = Versioned(m.heap.alloc_versioned(1))
+
+    def prog(tid):
+        yield cell.load_ver(5)
+
+    m.submit([Task(3, prog)])
+    run_to_deadlock(m)
+    (edge,) = build_wait_graph(m)
+    assert edge.pending_producers == frozenset()
+    assert "no producer" in post_mortem(m)
+
+
+def test_out_of_range_queued_task_not_a_producer():
+    # Rule 1 (no version above your own id) bounds the candidate set:
+    # only live tasks with id <= the requested version qualify.
+    m = Machine(MachineConfig(num_cores=1))
+    cell = Versioned(m.heap.alloc_versioned(1))
+
+    def prog(tid):
+        yield cell.load_ver(2)
+
+    m.submit([Task(4, prog)])
+    m.tracker.register(9)  # queued, live, but 9 > 2: cannot produce v2
+    run_to_deadlock(m)
+    (edge,) = build_wait_graph(m)
+    assert edge.pending_producers == frozenset()
+    assert "no producer" in post_mortem(m)

@@ -13,7 +13,10 @@ The package provides:
 - a software (real threads) O-structure runtime (:mod:`repro.sw`),
 - the experiment harness regenerating every figure (:mod:`repro.harness`),
 - a differential-oracle + invariant sanitizer (:mod:`repro.check`,
-  enabled with ``MachineConfig(checked=True)`` or ``--check``).
+  enabled with ``MachineConfig(checked=True)`` or ``--check``),
+- a deterministic fault-injection framework with graceful degradation
+  and live deadlock recovery (:mod:`repro.faults`, armed with
+  ``MachineConfig(faults=..., watchdog_cycles=...)``).
 
 Quickstart::
 
@@ -44,8 +47,10 @@ from .errors import (
     ProtectionFault,
     ReproError,
     SimulationError,
+    SweepFailure,
     VersionExistsError,
 )
+from .faults import FaultSpec, random_plan
 from .runtime.task import Task, TaskTracker
 from .runtime.scheduler import StaticScheduler
 from .runtime.versioned import Versioned
@@ -87,5 +92,8 @@ __all__ = [
     "NotLockedError",
     "FreeListExhausted",
     "AllocationError",
+    "SweepFailure",
+    "FaultSpec",
+    "random_plan",
     "__version__",
 ]

@@ -8,7 +8,10 @@ Usage::
     python -m repro fig7 fig8 fig9 fig10 gc
     python -m repro all --scale quick
     python -m repro check                  # sanitizer stress harness
+    python -m repro faults                 # fault-injection stress harness
     python -m repro fig6 --check           # any target under the sanitizer
+    python -m repro fig6 --resume          # reload a partial sweep's rows
+    python -m repro fig6 --timeout 300     # kill+retry hung sweep workers
 
 Sweeps fan out over a process pool (``--jobs`` / ``REPRO_JOBS``, default:
 all host cores) and memoise finished runs under ``.repro_cache/`` so a
@@ -65,6 +68,12 @@ def _run_check_target(scale, config: MachineConfig, budget: int | None):
     return run_check(scale, config, budget=budget)
 
 
+def _run_faults_target(scale, config: MachineConfig, budget: int | None):
+    from .check.stress import run_fault_check
+
+    return run_fault_check(scale, config, budget=budget)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -97,6 +106,24 @@ def main(argv: list[str] | None = None) -> int:
         help="always simulate; do not read or write .repro_cache/",
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted/crashed sweep from the rows already "
+            "persisted in the cache (forces caching on)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-run wall-clock timeout; hung workers are killed and "
+            "retried (default: REPRO_RUN_TIMEOUT or none)"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -118,8 +145,10 @@ def main(argv: list[str] | None = None) -> int:
         help="ops per random schedule for the 'check' target (CI smoke)",
     )
     args = parser.parse_args(argv)
+    if args.resume and args.no_cache:
+        parser.error("--resume and --no-cache are mutually exclusive")
 
-    known = list(EXPERIMENTS) + ["check"]
+    known = list(EXPERIMENTS) + ["check", "faults"]
     if args.targets == ["list"]:
         for name in known:
             print(name)
@@ -140,8 +169,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         runner = SweepRunner(
             jobs=args.jobs,
-            use_cache=False if args.no_cache else None,
+            use_cache=True if args.resume else (False if args.no_cache else None),
             cache_dir=args.cache_dir,
+            timeout=args.timeout,
+            resume=args.resume,
         )
     except ConfigError as exc:
         parser.error(str(exc))
@@ -151,6 +182,9 @@ def main(argv: list[str] | None = None) -> int:
         start = time.perf_counter()
         if name == "check":
             result = _run_check_target(scale, config, args.check_budget)
+            violations += result["violations"]
+        elif name == "faults":
+            result = _run_faults_target(scale, config, args.check_budget)
             violations += result["violations"]
         else:
             result = EXPERIMENTS[name](scale, runner, config)

@@ -151,8 +151,13 @@ def _check_gc_lists(machine: "Machine") -> list[str]:
 
 
 def _check_waiters(machine: "Machine") -> list[str]:
+    from ..ostruct.manager import ALLOC_WAIT
+
     problems = []
     for vaddr, cbs in machine.manager._waiters.items():
+        if vaddr == ALLOC_WAIT:
+            # Allocation-backpressure parking slot, not a page address.
+            continue
         if cbs and not machine.page_table.is_versioned(vaddr):
             problems.append(
                 f"{len(cbs)} waiter(s) parked on non-versioned page "

@@ -248,6 +248,30 @@ class DifferentialOracle:
         if sw is not None and not sw.is_locked(version):
             sw.drop_version(version)
 
+    def mirror_drop(self, vaddr: int, version: int) -> list[str]:
+        """Hardware rolled back an aborted task's uncommitted version.
+
+        Unlike a GC reclaim this is not subject to the Section III-B
+        liveness audit — the abort path *deliberately* destroys a
+        version other tasks may have been waiting for (they re-stall
+        until the retry recreates it).  The drop must still target a
+        version the reference knows and that is unlocked (the abort
+        releases the victim's locks first).
+        """
+        sw = self.structs.get(vaddr)
+        if sw is None or version not in sw._versions:
+            return [
+                f"abort dropped version {version} of 0x{vaddr:x} unknown "
+                f"to the reference model"
+            ]
+        if sw.is_locked(version):
+            return [
+                f"abort dropped version {version} of 0x{vaddr:x} while "
+                f"still locked by task {sw.locker_of(version)}"
+            ]
+        sw.drop_version(version)
+        return []
+
     def mirror_free(self, vaddr: int, count: int) -> list[str]:
         """Hardware freed a whole O-structure of ``count`` blocks."""
         sw = self.structs.pop(vaddr, None)

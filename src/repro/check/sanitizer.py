@@ -143,6 +143,7 @@ class Sanitizer:
         for name in self._WRAPPED:
             setattr(mgr, name, getattr(self, f"_{name}"))
         machine.gc.reclaim_hooks.append(self._on_reclaim)
+        machine.manager.drop_hooks.append(self._on_abort_drop)
         # Keep an interleaving record for violation reports, but never
         # displace a tracer/hook the user installed first.
         self.tracer = None
@@ -161,6 +162,8 @@ class Sanitizer:
                 delattr(mgr, name)
         if self._on_reclaim in self.machine.gc.reclaim_hooks:
             self.machine.gc.reclaim_hooks.remove(self._on_reclaim)
+        if self._on_abort_drop in self.machine.manager.drop_hooks:
+            self.machine.manager.drop_hooks.remove(self._on_abort_drop)
         if self.tracer is not None:
             self.tracer.detach()
 
@@ -353,3 +356,12 @@ class Sanitizer:
             not problems, "gc-safety", problems, ("gc_reclaim", vaddr, version)
         )
         self.oracle.mirror_reclaim(vaddr, version)
+
+    def _on_abort_drop(self, vaddr: int, version: int) -> None:
+        # Abort rollback is exempt from the reclaim liveness audit (the
+        # drop is deliberate; waiters re-stall until the retry recreates
+        # the version) but must still track the reference model.
+        problems = self.oracle.mirror_drop(vaddr, version)
+        self._require(
+            not problems, "abort-rollback", problems, ("abort_drop", vaddr, version)
+        )

@@ -224,3 +224,130 @@ def run_check(
         "violations": violations,
         "ops_checked": ops_checked,
     }
+
+
+def run_fault_check(
+    scale: Scale = QUICK,
+    config: MachineConfig = TABLE2,
+    *,
+    budget: int | None = None,
+    schedules: int = 3,
+) -> dict[str, Any]:
+    """Random fault plans through fully-checked, recovery-armed machines.
+
+    Every run draws a seeded plan of *transparent* faults (free-list
+    starvation, dropped/delayed wake-ups, GC pauses — kinds whose
+    recovery must not change program output) from
+    :func:`repro.faults.spec.random_plan`, arms the live watchdog, and
+    requires the run to either (a) complete with results identical to
+    the sequential reference under the full sanitizer, or (b) degrade
+    gracefully into :class:`FreeListExhausted` / :class:`DeadlockError`
+    — never a wrong answer, a sanitizer violation, or a silent hang.
+    Degraded runs are tallied, not failed: an injected refill budget of
+    zero can make forward progress genuinely impossible.
+    """
+    from ..errors import DeadlockError, FreeListExhausted
+    from ..faults.spec import random_plan
+
+    n_ops = budget if budget is not None else max(24, scale.n_ops // 4)
+    elements = max(16, min(scale.small_elements, 2 * n_ops))
+    rng = np.random.default_rng(scale.seed ^ 0xFA17)
+    base = dataclasses.replace(
+        config,
+        checked=True,
+        # Tight memory so starvation faults bite, plus every recovery
+        # mechanism armed: backpressure (default on), bounded refills,
+        # and the live watchdog with a short budget and backoff.
+        free_list_blocks=96,
+        refill_blocks=32,
+        free_list_refills=4,
+        gc_watermark=16,
+        watchdog_cycles=20_000,
+        watchdog_backoff_cycles=64,
+    )
+    rows: list[dict[str, Any]] = []
+    degraded = 0
+    faults_fired = 0
+    for name in IRREGULAR:
+        for i in range(schedules):
+            seed = int(rng.integers(0, 2**31))
+            mix = (
+                opgen.READ_INTENSIVE if i % 2 == 0 else opgen.WRITE_INTENSIVE
+            )
+            # Fault triggers span the whole run including structure
+            # setup (~2 ops per initial element) — both phases must
+            # degrade gracefully.
+            plan = random_plan(
+                seed, n_ops=2 * elements + 3 * n_ops, max_faults=3
+            )
+            cfg = dataclasses.replace(base, faults=plan)
+            row: dict[str, Any]
+            try:
+                row = check_irregular(
+                    name,
+                    config=cfg,
+                    seed=seed,
+                    elements=elements,
+                    n_ops=n_ops,
+                    cores=4,
+                    mix=mix,
+                )
+            except FreeListExhausted as exc:
+                row = {
+                    "workload": name,
+                    "seed": seed,
+                    "mix": mix.name,
+                    "problems": [],
+                    "degraded": f"FreeListExhausted"
+                    + (" +waitgraph" if exc.post_mortem else ""),
+                }
+                degraded += 1
+            except DeadlockError:
+                row = {
+                    "workload": name,
+                    "seed": seed,
+                    "mix": mix.name,
+                    "problems": [],
+                    "degraded": "DeadlockError",
+                }
+                degraded += 1
+            row["plan"] = [dataclasses.asdict(f) for f in plan]
+            rows.append(row)
+
+    violations = sum(len(r["problems"]) for r in rows)
+    ops_checked = sum(r.get("versioned_ops", 0) for r in rows)
+    lines = [
+        "Fault-injection stress check (random plans, sanitizer on, "
+        "recovery armed)",
+        f"  scale={scale.name} schedules={schedules} "
+        f"irregular-ops={n_ops} elements={elements}",
+        "",
+    ]
+    for r in rows:
+        if r["problems"]:
+            status = "FAIL"
+        elif "degraded" in r:
+            status = f"degraded ({r['degraded']})"
+        else:
+            status = "ok"
+        nfaults = len(r["plan"])
+        kinds = ",".join(sorted({f["kind"] for f in r["plan"]})) or "-"
+        faults_fired += nfaults
+        lines.append(
+            f"  {r['workload']:<12} seed={r['seed']:<11} mix={r['mix']:<6} "
+            f"faults={nfaults}[{kinds}] {status}"
+        )
+        for p in r["problems"]:
+            lines.extend(f"    ! {ln}" for ln in p.splitlines())
+    lines.append("")
+    lines.append(
+        f"  {len(rows)} runs, {ops_checked} versioned ops checked, "
+        f"{degraded} degraded gracefully, {violations} violation(s)"
+    )
+    return {
+        "rows": rows,
+        "text": "\n".join(lines),
+        "violations": violations,
+        "ops_checked": ops_checked,
+        "degraded": degraded,
+    }

@@ -17,6 +17,7 @@ Sections III-IV of the paper.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from .errors import ConfigError
@@ -38,6 +39,20 @@ def _require(cond: bool, msg: str) -> None:
 
 def _is_pow2(n: int) -> bool:
     return n > 0 and (n & (n - 1)) == 0
+
+
+def _watchdog_cycles_default() -> int:
+    """Watchdog period from ``REPRO_WATCHDOG_CYCLES`` (0 = disabled)."""
+    raw = os.environ.get("REPRO_WATCHDOG_CYCLES", "").strip()
+    if not raw:
+        return 0
+    try:
+        cycles = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_WATCHDOG_CYCLES must be an integer, got {raw!r}"
+        ) from None
+    return max(0, cycles)
 
 
 @dataclass(frozen=True)
@@ -107,6 +122,29 @@ class MachineConfig:
     free_list_refills: int | None = None
     #: Blocks added per OS refill trap.
     refill_blocks: int = 1 << 12
+    #: On allocation pressure (free list empty, refill budget spent),
+    #: stall the requesting core and run an emergency collection instead
+    #: of raising :class:`FreeListExhausted`; the error is only raised
+    #: when reclamation provably cannot free anything.
+    allocation_backpressure: bool = True
+    #: Live deadlock watchdog period in cycles (0 disables it).  When no
+    #: core retires an operation for this many cycles while cores are
+    #: blocked, the watchdog runs ``waitgraph.find_cycles`` and recovers
+    #: by abort-and-retry of a victim task (lock cycles) or by
+    #: re-delivering parked wake-ups (lost-wake hangs).  Defaults from
+    #: ``REPRO_WATCHDOG_CYCLES``.
+    watchdog_cycles: int = field(default_factory=_watchdog_cycles_default)
+    #: Abort-and-retry attempts per task before the watchdog gives up
+    #: and lets the drain-time DeadlockError report the hang.
+    watchdog_retries: int = 4
+    #: Restart delay of the first retry; doubles per attempt
+    #: (exponential cycle backoff).
+    watchdog_backoff_cycles: int = 128
+    #: Wake-up re-deliveries per no-progress streak (lost-wake recovery).
+    watchdog_kick_limit: int = 2
+    #: Deterministic fault plan: a tuple of
+    #: :class:`repro.faults.FaultSpec` armed when the machine is built.
+    faults: tuple = ()
     #: Run the machine under the :mod:`repro.check` sanitizer: every
     #: versioned op is diffed against the software reference model and
     #: structural invariants are validated at checkpoints.  Purely a
@@ -130,6 +168,20 @@ class MachineConfig:
         _require(self.free_list_blocks > 0, "free list must start non-empty")
         _require(self.gc_watermark >= 0, "watermark must be non-negative")
         _require(self.refill_blocks > 0, "refill size must be positive")
+        _require(self.watchdog_cycles >= 0, "watchdog period must be non-negative")
+        _require(self.watchdog_retries >= 0, "watchdog retries must be non-negative")
+        _require(
+            self.watchdog_backoff_cycles >= 1,
+            "watchdog backoff must be at least one cycle",
+        )
+        _require(
+            self.watchdog_kick_limit >= 0,
+            "watchdog kick limit must be non-negative",
+        )
+        if self.faults:
+            from .faults.spec import validate_plan
+
+            validate_plan(self.faults)
 
     @property
     def l2(self) -> CacheConfig:
@@ -164,6 +216,19 @@ class MachineConfig:
     def with_versioned_latency(self, cycles: int) -> "MachineConfig":
         """A copy injecting ``cycles`` into every versioned op (Figure 10)."""
         return replace(self, versioned_op_extra_latency=cycles)
+
+    def with_watchdog(self, cycles: int, **knobs: int) -> "MachineConfig":
+        """A copy with the live deadlock watchdog armed at ``cycles``.
+
+        Extra keyword arguments override the other watchdog knobs
+        (``watchdog_retries``, ``watchdog_backoff_cycles``,
+        ``watchdog_kick_limit``).
+        """
+        return replace(self, watchdog_cycles=cycles, **knobs)
+
+    def with_faults(self, *faults) -> "MachineConfig":
+        """A copy carrying the given fault plan (see :mod:`repro.faults`)."""
+        return replace(self, faults=tuple(faults))
 
 
 #: The paper's experimental platform (Table II), 32 cores.

@@ -58,13 +58,51 @@ class NotLockedError(SimulationError):
 
 
 class FreeListExhausted(SimulationError):
-    """The hardware free-list ran dry and the OS refill handler also failed.
+    """Version-block reclamation provably cannot free anything.
 
-    In the paper the hardware traps to software, which grows the free list;
-    the simulator mirrors that, and only raises this error when the
-    configured refill budget is exhausted.
+    In the paper the hardware traps to software, which grows the free
+    list; the simulator mirrors that.  With allocation backpressure
+    enabled (the default) an empty free list with a spent refill budget
+    first stalls the requesting core and runs an emergency collection —
+    this error is only raised when no shadowed block exists that could
+    ever be reclaimed (or when the stalled cores outlive every event, at
+    drain time).  ``post_mortem`` then carries a wait-graph report of
+    who was stalled on allocation and why nothing was reclaimable.
     """
+
+    def __init__(self, message: str, *, post_mortem: str = ""):
+        self.post_mortem = ""
+        super().__init__(message)
+        if post_mortem:
+            self.attach_post_mortem(post_mortem)
+
+    def attach_post_mortem(self, report: str) -> None:
+        """Append a wait-graph report to the message (idempotent)."""
+        if self.post_mortem or not report:
+            return
+        self.post_mortem = report
+        self.args = (f"{self.args[0]}\nwait graph:\n{report}",)
 
 
 class AllocationError(SimulationError):
     """The simulated heap cannot satisfy an allocation request."""
+
+
+class SweepFailure(ReproError):
+    """A sweep RunSpec kept failing after every retry.
+
+    Raised by :class:`repro.harness.runner.SweepRunner` when a run
+    crashed its worker process or exceeded the wall-clock timeout more
+    times than the retry budget allows.  Completed rows of the sweep
+    were already persisted incrementally, so re-running with
+    ``--resume`` only re-executes the spec(s) that failed.
+    """
+
+    def __init__(self, spec_repr: str, attempts: int, reason: str):
+        self.spec_repr = spec_repr
+        self.attempts = attempts
+        self.reason = reason
+        super().__init__(
+            f"sweep run failed after {attempts} attempt(s): {reason} "
+            f"[{spec_repr}]"
+        )

@@ -1,0 +1,88 @@
+"""Harness-tier fault injection: chaos workers for the sweep runner.
+
+``sim_chaos`` is a registered sweep target (``RunSpec(fn="chaos")``)
+whose *process* misbehaves on command — it crashes the worker with a
+raw ``os._exit``, hangs past any reasonable deadline, or raises a
+deterministic error — which is exactly the class of failure the
+crash-tolerant :class:`~repro.harness.runner.SweepRunner` must absorb.
+Simulation-tier faults are injected with :mod:`repro.faults.injector`;
+this module kills the processes *around* the simulator.
+
+Faults fire **once per (key, mode)**: the worker drops a marker file in
+``marker_dir`` before misbehaving, and any worker that finds the marker
+already present completes normally.  That models the transient failures
+(OOM kill, preemption, node crash) a retry is supposed to cure, and
+makes runner tests deterministic: first attempt fails, retry succeeds,
+and the marker file proves the fault really fired.
+
+The success payload is a pure function of ``key``, so resumed and
+clean-run sweeps produce byte-identical rows.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from pathlib import Path
+
+from ..errors import ReproError
+from ..harness.runner import RunResult, StatsView
+
+#: Exit status used by the ``crash`` mode (distinctive in core dumps
+#: and CI logs; any non-zero status breaks the pool the same way).
+CRASH_EXIT_STATUS = 17
+
+#: Supported misbehaviours.
+CHAOS_MODES = ("ok", "crash", "hang", "error")
+
+
+def _result_for(key: str) -> RunResult:
+    """Deterministic payload standing in for a simulation's row."""
+    digest = zlib.crc32(key.encode())
+    return RunResult(
+        cycles=digest % 100_000,
+        stats=StatsView(
+            {
+                "workload": "chaos",
+                "key": key,
+                "digest": digest,
+                "tasks_finished": 1,
+            }
+        ),
+    )
+
+
+def sim_chaos(
+    key: str,
+    mode: str = "ok",
+    marker_dir: str = "",
+    sleep: float = 30.0,
+) -> RunResult:
+    """One chaos run: misbehave per ``mode`` (once), else return a row.
+
+    ``marker_dir`` must be a writable directory when ``mode != "ok"``;
+    the marker file ``chaos-<key>-<mode>.fired`` makes the fault
+    once-only.  ``sleep`` is how long the ``hang`` mode wedges the
+    worker — longer than any test timeout, far shorter than CI's.
+    """
+    if mode not in CHAOS_MODES:
+        raise ReproError(f"unknown chaos mode {mode!r}; choose from {CHAOS_MODES}")
+    if mode != "ok":
+        if not marker_dir:
+            raise ReproError(f"chaos mode {mode!r} requires marker_dir")
+        marker = Path(marker_dir) / f"chaos-{key}-{mode}.fired"
+        if not marker.exists():
+            # Marker first: even a crash that never returns is recorded,
+            # so the retried attempt sees it and completes.
+            marker.parent.mkdir(parents=True, exist_ok=True)
+            marker.write_text(f"pid={os.getpid()}\n")
+            if mode == "crash":
+                # Raw exit, no interpreter shutdown: what SIGKILL-ing
+                # the worker looks like to the parent pool.
+                os._exit(CRASH_EXIT_STATUS)
+            elif mode == "hang":
+                time.sleep(sleep)
+            elif mode == "error":
+                raise ReproError(f"injected deterministic failure for {key!r}")
+    return _result_for(key)

@@ -1,0 +1,141 @@
+"""Deterministic machine-tier fault injection.
+
+The injector arms a :class:`~repro.faults.spec.FaultSpec` plan against a
+live machine by wrapping two manager chokepoints:
+
+- ``manager._extra`` — called exactly once per completed versioned
+  operation — provides the *op ordinal* used to trigger op-indexed
+  faults (``starve-free-list``, ``pause-gc``, ``abort-task``);
+- ``manager._notify`` — the waiter wake-up path — provides the *notify
+  ordinal* used by the wake faults (``drop-wake`` swallows the
+  notification, ``delay-wake`` postpones delivery).  Notifications with
+  no parked waiter are not counted: a plan's window always lines up
+  with wake-ups that would actually have delivered something.
+
+Both ordinals advance deterministically with the simulation, so a given
+``(workload, seed, plan)`` triple always injects the same faults at the
+same points — a failed chaos run replays exactly.
+
+Faults are injected *through public recovery surfaces* (the free list's
+refill budget, the GC enable bit, the core's abort entry point), so what
+is being tested is the machine's actual degradation behaviour, not
+injector-private shortcuts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..ostruct.manager import ALLOC_WAIT, _BatchWake
+from .spec import FaultSpec, validate_plan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.machine import Machine
+
+#: Fault kinds triggered by the versioned-op ordinal.
+_OP_KINDS = frozenset({"starve-free-list", "pause-gc", "abort-task"})
+#: Fault kinds triggered by the waiter-notification ordinal.
+_WAKE_KINDS = frozenset({"drop-wake", "delay-wake"})
+
+
+class FaultInjector:
+    """Arms a fault plan against one machine for one run."""
+
+    def __init__(self, machine: "Machine", plan: tuple[FaultSpec, ...]):
+        validate_plan(plan)
+        self.machine = machine
+        self.plan = tuple(plan)
+        #: Faults actually applied, in firing order.
+        self.fired: list[FaultSpec] = []
+        #: Faults whose trigger matched but whose target was not
+        #: applicable (e.g. an abort-task victim already finished).
+        self.skipped: list[FaultSpec] = []
+        self.op_index = 0
+        self.notify_index = 0
+        # Op-indexed faults sorted descending by (at, plan position) so
+        # the next due fault sits at the end and pops in O(1).
+        self._op_faults = sorted(
+            (f for f in self.plan if f.kind in _OP_KINDS),
+            key=lambda f: (f.at, self.plan.index(f)),
+            reverse=True,
+        )
+        self._wake_faults = [f for f in self.plan if f.kind in _WAKE_KINDS]
+        manager = machine.manager
+        self._orig_extra = manager._extra
+        self._orig_notify = manager._notify
+        manager._extra = self._extra
+        manager._notify = self._notify
+
+    # -- wrapped chokepoints ---------------------------------------------------
+
+    def _extra(self) -> int:
+        self.op_index += 1
+        while self._op_faults and self._op_faults[-1].at <= self.op_index:
+            self._trigger(self._op_faults.pop())
+        return self._orig_extra()
+
+    def _notify(self, vaddr: int) -> None:
+        manager = self.machine.manager
+        if not manager._waiters.get(vaddr):
+            return self._orig_notify(vaddr)
+        self.notify_index += 1
+        idx = self.notify_index
+        for f in self._wake_faults:
+            if f.at <= idx < f.at + f.span:
+                if f.kind == "drop-wake":
+                    # Swallow the wake-up; the waiters stay parked.  The
+                    # watchdog's kick path is the designed recovery.
+                    self._record(f)
+                    return
+                # delay-wake: deliver late (a normal wake is delay 1).
+                cbs = manager._waiters.pop(vaddr)
+                delay = max(2, f.value)
+                if len(cbs) == 1:
+                    manager.sim.schedule(delay, cbs[0])
+                else:
+                    manager.sim.schedule(delay, _BatchWake(cbs))
+                self._record(f)
+                return
+        return self._orig_notify(vaddr)
+
+    # -- fault actions ---------------------------------------------------------
+
+    def _trigger(self, f: FaultSpec) -> None:
+        m = self.machine
+        if f.kind == "starve-free-list":
+            m.free_list.set_refill_budget(f.value)
+            m.free_list.drain(leave=f.arg)
+            self._record(f)
+        elif f.kind == "pause-gc":
+            m.gc.enabled = False
+            m.sim.schedule(max(1, f.value), lambda: self._resume_gc())
+            self._record(f)
+        elif f.kind == "abort-task":
+            # _extra runs mid-dispatch: the victim core may be the one
+            # executing right now, so defer the abort to a fresh event.
+            m.sim.schedule(0, lambda spec=f: self._abort(spec))
+
+    def _resume_gc(self) -> None:
+        m = self.machine
+        m.gc.enabled = True
+        # Backpressured allocators may have been waiting out the pause.
+        if m.manager._waiters.get(ALLOC_WAIT):
+            m.manager._notify(ALLOC_WAIT)
+
+    def _abort(self, f: FaultSpec) -> None:
+        m = self.machine
+        for core in m.cores:
+            task = core.current
+            if task is None or task.task_id != f.arg:
+                continue
+            if core.can_abort and m.manager.can_abort_task(task.task_id):
+                core.abort_and_retry(max(1, f.value))
+                self._record(f)
+            else:
+                self.skipped.append(f)
+            return
+        self.skipped.append(f)
+
+    def _record(self, f: FaultSpec) -> None:
+        self.fired.append(f)
+        self.machine.stats.faults_injected += 1

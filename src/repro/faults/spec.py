@@ -1,0 +1,145 @@
+"""Fault plans: deterministic, seeded fault specifications.
+
+A *fault plan* is a tuple of :class:`FaultSpec` carried by
+``MachineConfig(faults=...)``.  The :class:`~repro.faults.injector.
+FaultInjector` arms the plan when the machine is built and fires each
+fault at a deterministic point of the simulation, so a failing
+(workload, seed, plan) triple reproduces exactly.
+
+Trigger points are *ordinal*, not cycle-based: machine-tier faults
+trigger on the N-th versioned operation (``starve-free-list``,
+``pause-gc``, ``abort-task``) or the N-th waiter notification
+(``drop-wake``, ``delay-wake``).  Ordinals survive timing changes —
+the same plan hits the same protocol step even if latencies shift.
+
+Specs are frozen dataclasses with deterministic ``repr``s, so a config
+carrying a plan still works as a :class:`~repro.harness.runner.RunSpec`
+cache key and pickles across the process pool.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import ConfigError
+
+#: Machine-tier fault kinds understood by the injector.
+KINDS = frozenset(
+    {
+        "starve-free-list",
+        "drop-wake",
+        "delay-wake",
+        "pause-gc",
+        "abort-task",
+    }
+)
+
+#: Fault kinds that must be *transparent*: recovery may cost cycles but
+#: the run must complete with unchanged results.  ``abort-task`` is
+#: excluded — replaying a task is only safe when its body is idempotent
+#: (pure generator state), which some workloads' host-side allocators
+#: are not; the abort path gets dedicated deterministic tests instead.
+TRANSPARENT_KINDS = ("starve-free-list", "drop-wake", "delay-wake", "pause-gc")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault.
+
+    ``kind``
+        One of :data:`KINDS`.
+    ``at``
+        Trigger ordinal (1-based): versioned-op index for
+        ``starve-free-list`` / ``pause-gc`` / ``abort-task``, waiter
+        notification index for the wake faults.
+    ``span``
+        How many consecutive notifications a wake fault covers.
+    ``value``
+        Kind-specific magnitude: the refill budget that *remains* after
+        a starvation fault, the GC pause length in cycles, the wake
+        delivery delay in cycles, the abort restart delay in cycles.
+    ``arg``
+        Kind-specific operand: free blocks left after a starvation
+        drain, or the task id an ``abort-task`` fault targets.
+    """
+
+    kind: str
+    at: int = 1
+    span: int = 1
+    value: int = 0
+    arg: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; choose from {sorted(KINDS)}"
+            )
+        if self.at < 1:
+            raise ConfigError("fault trigger ordinal 'at' must be >= 1")
+        if self.span < 1:
+            raise ConfigError("fault span must be >= 1")
+        if self.value < 0 or self.arg < 0:
+            raise ConfigError("fault value/arg must be non-negative")
+
+
+def validate_plan(faults: Iterable[object]) -> tuple[FaultSpec, ...]:
+    """Check that ``faults`` is a sequence of :class:`FaultSpec`."""
+    plan = tuple(faults)
+    for f in plan:
+        if not isinstance(f, FaultSpec):
+            raise ConfigError(
+                f"faults must be FaultSpec instances, got {type(f).__name__}"
+            )
+    return plan
+
+
+def random_plan(
+    seed: int,
+    *,
+    n_ops: int = 64,
+    max_faults: int = 3,
+    task_ids: Sequence[int] = (),
+    kinds: Sequence[str] | None = None,
+) -> tuple[FaultSpec, ...]:
+    """A seeded random fault plan (the stress harness vehicle).
+
+    Draws 1..``max_faults`` faults from ``kinds`` (default: the
+    transparent kinds) with trigger ordinals in ``[1, n_ops]``.
+    ``task_ids`` supplies candidate victims for ``abort-task`` faults
+    when that kind is requested.  Same seed, same plan.
+    """
+    rng = random.Random(seed)
+    pool = tuple(kinds if kinds is not None else TRANSPARENT_KINDS)
+    plan: list[FaultSpec] = []
+    for _ in range(rng.randint(1, max_faults)):
+        kind = rng.choice(pool)
+        at = rng.randint(1, max(1, n_ops))
+        if kind == "starve-free-list":
+            plan.append(
+                FaultSpec(kind, at=at, value=rng.randint(0, 2), arg=rng.randint(0, 4))
+            )
+        elif kind == "pause-gc":
+            plan.append(FaultSpec(kind, at=at, value=rng.randint(200, 5000)))
+        elif kind == "abort-task":
+            if not task_ids:
+                continue
+            plan.append(
+                FaultSpec(
+                    kind,
+                    at=at,
+                    value=rng.randint(1, 64),
+                    arg=rng.choice(list(task_ids)),
+                )
+            )
+        else:  # drop-wake / delay-wake
+            plan.append(
+                FaultSpec(
+                    kind,
+                    at=at,
+                    span=rng.randint(1, 3),
+                    value=rng.randint(2, 50),
+                )
+            )
+    return tuple(plan)

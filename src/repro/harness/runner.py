@@ -28,12 +28,20 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait as futures_wait,
+)
+from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
-from ..errors import ConfigError
+from ..errors import ConfigError, SweepFailure
 
 #: Default cache directory (under the current working directory).
 CACHE_DIR_NAME = ".repro_cache"
@@ -160,10 +168,30 @@ class ResultCache:
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"spec": repr(spec), **result.to_json()}
-        # Write-then-rename so concurrent sweeps never see partial files.
+        # Write-then-rename so concurrent sweeps (and interrupted ones)
+        # never see partial files: an aborted write leaves at most a
+        # ``*.tmp`` straggler, never a truncated ``.json``.
         tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+    def clean_stale_tmp(self) -> int:
+        """Remove ``*.tmp`` stragglers from interrupted stores; count removed."""
+        removed = 0
+        version_dir = self.root / self.version
+        if not version_dir.is_dir():
+            return 0
+        for tmp in version_dir.glob("*.tmp"):
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+        return removed
 
 
 # ---------------------------------------------------------------------------
@@ -179,23 +207,35 @@ class RunnerStats:
     deduped: int = 0
     cache_hits: int = 0
     simulated: int = 0
+    #: Specs re-executed after a crash or timeout.
+    retried: int = 0
+    #: Runs that exceeded the per-run wall-clock timeout.
+    timeouts: int = 0
+    #: Pool-rebuild events caused by a worker process dying.
+    crashes: int = 0
 
     def snapshot(self) -> "RunnerStats":
-        return RunnerStats(self.requested, self.deduped, self.cache_hits, self.simulated)
+        return RunnerStats(**{f.name: getattr(self, f.name) for f in fields(self)})
 
     def since(self, earlier: "RunnerStats") -> "RunnerStats":
         return RunnerStats(
-            self.requested - earlier.requested,
-            self.deduped - earlier.deduped,
-            self.cache_hits - earlier.cache_hits,
-            self.simulated - earlier.simulated,
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
         )
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.simulated} simulated, {self.cache_hits} cached, "
             f"{self.deduped} deduped of {self.requested} runs"
         )
+        if self.retried or self.timeouts or self.crashes:
+            text += (
+                f" ({self.retried} retried, {self.timeouts} timed out, "
+                f"{self.crashes} worker crash(es))"
+            )
+        return text
 
 
 def _jobs_from_env() -> int:
@@ -217,6 +257,50 @@ def _cache_enabled_by_env() -> bool:
     )
 
 
+def _timeout_from_env() -> float | None:
+    raw = os.environ.get("REPRO_RUN_TIMEOUT")
+    if not raw:
+        return None
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_RUN_TIMEOUT must be a number of seconds, got {raw!r}"
+        ) from None
+    if timeout <= 0:
+        raise ConfigError("REPRO_RUN_TIMEOUT must be > 0")
+    return timeout
+
+
+def _retries_from_env() -> int:
+    raw = os.environ.get("REPRO_RUN_RETRIES")
+    if not raw:
+        return 2
+    try:
+        retries = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_RUN_RETRIES must be an integer, got {raw!r}"
+        ) from None
+    if retries < 0:
+        raise ConfigError("REPRO_RUN_RETRIES must be >= 0")
+    return retries
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor, *, kill: bool) -> None:
+    """Tear a pool down without waiting on wedged or dead workers."""
+    if kill:
+        try:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                proc.terminate()
+        except Exception:  # pragma: no cover - racing worker exit
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - pool already broken
+        pass
+
+
 def execute_spec(spec: RunSpec) -> RunResult:
     """Run one spec in this process (also the pool-worker entry point)."""
     from . import sweeps  # local import: sweeps imports this module
@@ -230,20 +314,52 @@ class SweepRunner:
     ``jobs`` defaults to ``REPRO_JOBS`` or the host core count; caching
     defaults to on unless ``REPRO_CACHE`` disables it.  Results are always
     returned in spec order, so output is independent of worker count.
+
+    The parallel path is crash-tolerant: every run carries an optional
+    wall-clock ``timeout`` (``REPRO_RUN_TIMEOUT``), a worker that dies or
+    hangs gets its pool rebuilt and its spec retried with exponential
+    backoff up to ``retries`` times (``REPRO_RUN_RETRIES``, default 2),
+    and completed rows are persisted to the cache *as they finish* — so
+    an interrupted or crashed sweep resumes from its survivors
+    (``resume=True`` / ``--resume``) instead of starting over.
+
+    Failures the worker *reports* (a raised simulation error) are
+    deterministic and re-raise immediately; only process-level failures
+    — a killed worker or a blown timeout — are retried.
     """
+
+    #: Seconds between liveness/timeout scans of the in-flight futures.
+    _poll_interval = 0.1
 
     def __init__(
         self,
         jobs: int | None = None,
         use_cache: bool | None = None,
         cache_dir: str | Path | None = None,
+        *,
+        timeout: float | None = None,
+        retries: int | None = None,
+        retry_backoff: float = 0.05,
+        resume: bool = False,
     ):
         self.jobs = jobs if jobs is not None else _jobs_from_env()
         if self.jobs < 1:
             raise ConfigError("jobs must be >= 1")
-        if use_cache is None:
+        self.timeout = timeout if timeout is not None else _timeout_from_env()
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError("timeout must be > 0")
+        self.retries = retries if retries is not None else _retries_from_env()
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+        self.retry_backoff = retry_backoff
+        self.resume = resume
+        if resume:
+            use_cache = True  # resuming *is* reading the partial cache
+        elif use_cache is None:
             use_cache = _cache_enabled_by_env()
         self.cache = ResultCache(cache_dir) if use_cache else None
+        if resume and self.cache is not None:
+            self.cache.clean_stale_tmp()
         self.stats = RunnerStats()
 
     def run(self, specs: Sequence[RunSpec]) -> list[RunResult]:
@@ -265,24 +381,123 @@ class SweepRunner:
             else:
                 missing.append(spec)
 
-        for spec, result in zip(missing, self._execute_all(missing)):
-            self.stats.simulated += 1
+        try:
+            # Completion order, persisted row by row: a sweep killed at
+            # any point keeps everything that already finished.
+            for spec, result in self._execute_all(missing):
+                self.stats.simulated += 1
+                if self.cache is not None:
+                    self.cache.store(spec, result)
+                for i in positions[spec]:
+                    results[i] = result
+        except KeyboardInterrupt:
+            # The executor generator's finally clause has already torn
+            # the pool down; drop any half-written cache entries so the
+            # next run (e.g. with --resume) sees only complete rows.
             if self.cache is not None:
-                self.cache.store(spec, result)
-            for i in positions[spec]:
-                results[i] = result
+                self.cache.clean_stale_tmp()
+            raise
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
 
-    def _execute_all(self, specs: list[RunSpec]) -> list[RunResult]:
-        if self.jobs > 1 and len(specs) > 1:
-            workers = min(self.jobs, len(specs))
-            # chunksize=1: individual runs vary by orders of magnitude
-            # (large/32-core vs small/1-core), so fine-grained dispatch
-            # keeps the pool balanced.
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(execute_spec, specs, chunksize=1))
-        return [execute_spec(spec) for spec in specs]
+    def _execute_all(
+        self, specs: list[RunSpec]
+    ) -> Iterator[tuple[RunSpec, RunResult]]:
+        # Timeouts need process isolation to enforce, so a timeout forces
+        # the pool path even for a single job/spec.
+        if (self.jobs > 1 and len(specs) > 1) or (self.timeout and specs):
+            yield from self._execute_parallel(specs)
+            return
+        for spec in specs:
+            yield spec, execute_spec(spec)
+
+    def _execute_parallel(
+        self, specs: list[RunSpec]
+    ) -> Iterator[tuple[RunSpec, RunResult]]:
+        """Crash-tolerant fan-out over a (rebuildable) process pool."""
+        queue: deque[RunSpec] = deque(specs)
+        attempts: dict[RunSpec, int] = dict.fromkeys(specs, 0)
+        workers = min(self.jobs, len(specs))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        #: future -> (spec, monotonic deadline or None)
+        inflight: dict[Future, tuple[RunSpec, float | None]] = {}
+        try:
+            while queue or inflight:
+                # Submit-window dispatch (not pool.map): one future per
+                # spec so a crash or timeout is attributable, and at most
+                # ``workers`` in flight so a deadline measures *run* time,
+                # not queue time.
+                while queue and len(inflight) < workers:
+                    spec = queue.popleft()
+                    attempts[spec] += 1
+                    deadline = (
+                        time.monotonic() + self.timeout if self.timeout else None
+                    )
+                    inflight[pool.submit(execute_spec, spec)] = (spec, deadline)
+                done, _ = futures_wait(
+                    set(inflight),
+                    timeout=self._poll_interval,
+                    return_when=FIRST_COMPLETED,
+                )
+                crashed: list[tuple[RunSpec, str]] = []
+                for fut in done:
+                    spec, _deadline = inflight.pop(fut)
+                    try:
+                        result = fut.result()
+                    except BrokenExecutor:
+                        # The worker process died (a dead worker breaks
+                        # every in-flight future of the pool).
+                        crashed.append((spec, "worker process died"))
+                        continue
+                    # Any other exception is the simulation's own —
+                    # deterministic, so retrying cannot help: re-raise.
+                    yield spec, result
+                now = time.monotonic()
+                hung = [
+                    fut
+                    for fut, (_spec, deadline) in inflight.items()
+                    if deadline is not None and now >= deadline
+                ]
+                if not crashed and not hung:
+                    continue
+                # Rebuild: terminate the pool (kills hung workers too),
+                # charge the guilty specs an attempt, requeue the
+                # innocent in-flight specs uncharged.
+                if crashed:
+                    self.stats.crashes += 1
+                self.stats.timeouts += len(hung)
+                for fut in hung:
+                    spec, _deadline = inflight.pop(fut)
+                    crashed.append(
+                        (spec, f"run exceeded its {self.timeout}s timeout")
+                    )
+                innocents = [spec for spec, _deadline in inflight.values()]
+                inflight.clear()
+                _shutdown_pool(pool, kill=True)
+                for spec, reason in crashed:
+                    self._requeue(queue, attempts, spec, reason)
+                for spec in innocents:
+                    attempts[spec] -= 1
+                    queue.append(spec)
+                pool = ProcessPoolExecutor(max_workers=workers)
+        finally:
+            _shutdown_pool(pool, kill=True)
+
+    def _requeue(
+        self,
+        queue: deque,
+        attempts: dict[RunSpec, int],
+        spec: RunSpec,
+        reason: str,
+    ) -> None:
+        used = attempts[spec]
+        if used > self.retries:
+            raise SweepFailure(repr(spec), used, reason)
+        self.stats.retried += 1
+        if self.retry_backoff > 0:
+            # Bounded exponential backoff before the retry attempt.
+            time.sleep(min(self.retry_backoff * (2 ** (used - 1)), 2.0))
+        queue.append(spec)
 
 
 _default_runner: SweepRunner | None = None

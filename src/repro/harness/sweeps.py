@@ -16,6 +16,7 @@ The ``_seed`` / ``_irregular_inputs`` / ``_run_irregular`` /
 from __future__ import annotations
 
 import zlib
+from typing import Any
 
 from ..config import MachineConfig
 from ..errors import ConfigError
@@ -177,11 +178,19 @@ def sim_gc(config: MachineConfig, scale: Scale) -> RunResult:
     return RunResult.from_workload(run)
 
 
+def sim_chaos(**kwargs: Any) -> RunResult:
+    """Fault-injection sweep target; see :mod:`repro.faults.harness`."""
+    from ..faults.harness import sim_chaos as _sim_chaos
+
+    return _sim_chaos(**kwargs)
+
+
 RUNNERS = {
     "irregular": sim_irregular,
     "regular": sim_regular,
     "fig8": sim_fig8,
     "gc": sim_gc,
+    "chaos": sim_chaos,
 }
 
 

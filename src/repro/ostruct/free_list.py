@@ -59,6 +59,27 @@ class FreeList:
     def free_count(self) -> int:
         return len(self._free)
 
+    @property
+    def refills_left(self) -> int | None:
+        """Remaining OS refills (``None`` = unlimited)."""
+        return self._refills_left
+
+    def set_refill_budget(self, budget: int | None) -> None:
+        """Replace the remaining refill budget (fault injection)."""
+        self._refills_left = budget
+
+    def drain(self, leave: int = 0) -> int:
+        """Discard free blocks until only ``leave`` remain (starvation).
+
+        The discarded paddrs are forgotten entirely — exactly what an OS
+        reclaiming version-block pages under memory pressure looks like
+        to the hardware.  Returns the number of blocks dropped.
+        """
+        dropped = max(0, len(self._free) - max(0, leave))
+        if dropped:
+            del self._free[len(self._free) - dropped :]
+        return dropped
+
     def allocate(self) -> tuple[int, int]:
         """Pop one free block.
 

@@ -8,22 +8,26 @@ same location is created.  The collector keeps two lists:
 - the **pending list**: a snapshot of the shadowed list taken when a
   collection phase begins.
 
-When a phase starts, the shadowed list moves to the pending list and the
-*youngest* task id ``Y`` the tracker has ever seen begin is recorded.
-Once the *oldest* (lowest-id) live task is younger than ``Y``, every
-pending block is unreachable — rule 1 means any reader of a shadowed
-version has an id below the shadowing version, every pre-phase shadowing
-version was created by a task that has begun (so its id is <= Y), and
-rule 3 forbids spawning tasks below the lowest live id — so the pending
-list drains to the free list.  Phases are triggered by the free-list
-watermark.
+When a phase starts, the shadowed list moves to the pending list and a
+bound ``Y`` is recorded: the *youngest* task id the tracker has ever
+seen begin, or the highest *shadowing version id* among the pending
+blocks, whichever is larger.  Once the *oldest* (lowest-id) live task is
+younger than ``Y``, every pending block is unreachable — rule 1 means
+any reader of a shadowed version has an id below the shadowing version
+(<= Y by construction), and rule 3 forbids spawning tasks below the
+lowest live id — so the pending list drains to the free list.  Phases
+are triggered by the free-list watermark.
 
-The bound must be ``tracker.max_seen``, not the highest *currently
-active* id: a high-id task that already ended may have shadowed versions
-that lower-id tasks — queued but not yet begun — can still read.
-Bounding by the highest active id lets the phase finalize as soon as
-those older tasks are the only ones left, reclaiming versions they are
-about to load (caught by the repro.check sanitizer's reclaim audit).
+The task-id half of the bound must be ``tracker.max_seen``, not the
+highest *currently active* id: a high-id task that already ended may
+have shadowed versions that lower-id tasks — queued but not yet begun —
+can still read.  The shadowing-version half matters because renaming
+(UNLOCK-VERSION with a rename target) creates version ids above every
+begun task — e.g. the ticket protocol naming the *next mutator* — and
+readers of the version it shadows can hold any id below it.  Bounding by
+``max_seen`` alone lets the phase finalize while those readers are still
+queued, reclaiming versions they are about to load (both holes are
+caught by the repro.check sanitizer's reclaim audit).
 
 Newly shadowed versions registered during a phase go to the shadowed list
 as usual and wait for the next phase; that is exactly what makes the
@@ -85,13 +89,28 @@ class GarbageCollector:
     def phase_active(self) -> bool:
         return self._phase_active
 
-    def register_shadowed(self, block: VersionBlock, vlist: VersionList) -> None:
-        """Record that ``block`` is now shadowed by a younger version."""
+    def register_shadowed(
+        self, block: VersionBlock, vlist: VersionList, by: int
+    ) -> None:
+        """Record that ``block`` is now shadowed by version id ``by``."""
         if block.shadowed:
             return
         block.shadowed = True
+        block.shadowed_by = by
         self._shadowed.append((block, vlist))
         self.stats.shadowed_registered += 1
+
+    def forget_block(self, block: VersionBlock) -> int:
+        """Drop every queued entry for exactly this block; returns count.
+
+        Called when an aborted task's uncommitted version is rolled
+        back: the abort path releases the paddr itself, so a queue entry
+        left behind would double-release it in a later phase.
+        """
+        before = len(self._shadowed) + len(self._pending)
+        self._shadowed = [it for it in self._shadowed if it[0] is not block]
+        self._pending = [it for it in self._pending if it[0] is not block]
+        return before - len(self._shadowed) - len(self._pending)
 
     def forget_address(self, vaddr: int) -> int:
         """Drop every queued (block, list) pair of ``vaddr``; returns count.
@@ -124,12 +143,19 @@ class GarbageCollector:
         self._phase_active = True
         self._pending = self._shadowed
         self._shadowed = []
-        # Bound by the highest id that ever *began* (see module docstring):
-        # every pre-phase shadowing version was created by a begun task, so
-        # max_seen dominates every shadowing id, while the highest
-        # currently-active id does not — an ended high-id task may have
-        # shadowed versions still readable by queued lower-id tasks.
-        self._recorded_youngest = self.tracker.max_seen
+        # Bound by the highest id that ever *began* (see module docstring)
+        # — not the highest currently-active id: an ended high-id task may
+        # have shadowed versions still readable by queued lower-id tasks.
+        # Renaming can push a *shadowing version id* above every begun
+        # task (UNLOCK-VERSION renames a location to a designated future
+        # consumer's id, e.g. the ticket protocol naming the next
+        # mutator), and readers of the shadowed version can hold any id
+        # below the shadowing one — so the bound must also dominate every
+        # pending block's ``shadowed_by``.
+        self._recorded_youngest = max(
+            [self.tracker.max_seen]
+            + [blk.shadowed_by for blk, _ in self._pending]
+        )
         self.stats.gc_phases += 1
         self._try_finalize()
 
@@ -137,10 +163,98 @@ class GarbageCollector:
         if self._phase_active:
             self._try_finalize()
 
+    # -- allocation-pressure (emergency) collection ---------------------------
+
+    def reclaim_pending(self) -> bool:
+        """Is there anything a future reclaim could possibly free?
+
+        Used by the manager's backpressure path to decide between
+        stalling (a queued block may become unreachable as tasks end)
+        and raising the terminal :class:`FreeListExhausted` (nothing is
+        queued, so no reclaim will ever produce a block).
+        """
+        return bool(self._shadowed or self._pending)
+
+    def emergency_collect(self) -> int:
+        """Allocation-pressure collection; returns blocks freed.
+
+        The watermark phases bound reclamation by task ids — a phase
+        cannot finalize while any task live at its start is still live
+        (see the module docstring) — which is useless under allocation
+        pressure: the stalled requester is itself live, so waiting on a
+        phase would self-deadlock.  Instead, reclaim per block with a
+        precise reachability check.  A queued block is freed iff
+
+        - it is not locked and not its list's head,
+        - it is not the overall latest version of its address (a
+          LOAD-LATEST with a high cap must still find it),
+        - every live task id is *above* its version — rule 1 means a
+          task only addresses versions at or above its own id, so no
+          live task can exact-read it — and
+        - no live task's capped LOAD-LATEST selects it.
+
+        This is the same safety argument the watermark phase makes in
+        aggregate, applied block-by-block, and it satisfies the
+        sanitizer's per-reclaim audit.
+        """
+        if not self.enabled:
+            return 0
+        self.stats.emergency_gc_phases += 1
+        live = sorted(self.tracker.live_ids)
+        lowest = live[0] if live else None
+        freed = 0
+        for queue in (self._pending, self._shadowed):
+            kept: list[tuple[VersionBlock, VersionList]] = []
+            for block, vlist in queue:
+                if self._reachable(block, vlist, live, lowest):
+                    kept.append((block, vlist))
+                    continue
+                vlist.remove(block)
+                self.free_list.release(block.paddr)
+                for hook in self.reclaim_hooks:
+                    hook(vlist.vaddr, block.version)
+                self.stats.gc_reclaimed += 1
+                freed += 1
+            queue[:] = kept
+        if self._phase_active and not self._pending:
+            self._phase_active = False
+        return freed
+
+    def _reachable(
+        self,
+        block: VersionBlock,
+        vlist: VersionList,
+        live: list[int],
+        lowest: int | None,
+    ) -> bool:
+        if block.locked or vlist.head is block:
+            return True
+        # Never reclaim the overall latest version of an address.  In
+        # sorted mode the head check covers this; with unsorted lists
+        # the head is merely the most recent insertion.
+        latest = max((b.version for b in vlist), default=-1)
+        if block.version >= latest:
+            return True
+        if lowest is not None and lowest <= block.version:
+            return True  # exact-read safety: some live task may address it
+        # Renaming safety: readers of a shadowed version always have ids
+        # below the shadowing version id (which may exceed every begun
+        # task's id), and future tasks never spawn below the lowest live
+        # id — so the block is free only once the lowest live id reaches
+        # its shadower.
+        if lowest is not None and lowest < block.shadowed_by:
+            return True
+        for t in live:
+            found, _ = vlist.find_latest(t)
+            if found is block:
+                return True
+        return False
+
     def _try_finalize(self) -> None:
-        oldest = self.tracker.lowest_active()
-        if oldest is not None and oldest <= self._recorded_youngest:
-            return
+        if self._pending:  # an emptied pending list just closes the phase
+            oldest = self.tracker.lowest_active()
+            if oldest is not None and oldest <= self._recorded_youngest:
+                return
         self._finalize()
 
     def _finalize(self) -> None:

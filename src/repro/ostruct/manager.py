@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable
 
 from ..errors import (
+    FreeListExhausted,
     NotLockedError,
     ProtectionFault,
     SimulationError,
@@ -48,12 +49,34 @@ if TYPE_CHECKING:  # pragma: no cover
     from .page_table import PageTable
 
 
-class StallSignal(Exception):
-    """An O-structure operation must block; the core registers a waiter."""
+#: Sentinel waiter-queue key for cores stalled on allocation pressure
+#: (free-list backpressure).  Not a real address: it never names a page
+#: or a version list, and the deadlock diagnostics special-case it.
+ALLOC_WAIT = -1
 
-    def __init__(self, vaddr: int, reason: str):
+
+class StallSignal(Exception):
+    """An O-structure operation must block; the core registers a waiter.
+
+    ``vaddr`` is the address the stalled operation targeted;
+    ``wait_addr`` is the waiter-queue key the core must park on (it
+    differs from ``vaddr`` only for allocation backpressure, which
+    parks on :data:`ALLOC_WAIT`).  ``backpressure`` marks stalls caused
+    by version-block allocation pressure rather than version state.
+    """
+
+    def __init__(
+        self,
+        vaddr: int,
+        reason: str,
+        *,
+        wait_addr: int | None = None,
+        backpressure: bool = False,
+    ):
         self.vaddr = vaddr
         self.reason = reason
+        self.wait_addr = vaddr if wait_addr is None else wait_addr
+        self.backpressure = backpressure
         super().__init__(f"stall at 0x{vaddr:x}: {reason}")
 
 
@@ -142,9 +165,22 @@ class OStructureManager:
         self._memo_core: int = -1
         self._memo_vaddr: int = -1
         self._memo_entry: _DirectEntry | None = None
+        #: Callbacks ``fn(vaddr, version)`` fired when an aborted task's
+        #: uncommitted version is rolled back (distinct from GC reclaim
+        #: hooks: the sanitizer audits the two events differently).
+        self.drop_hooks: list[Callable[[int, int], None]] = []
+        #: task id -> [(vaddr, version), ...] it created, in order.
+        #: Tracked only when something can abort tasks (watchdog or an
+        #: abort-task fault plan) — it is pure overhead otherwise.
+        self._created: dict[int, list[tuple[int, int]]] = {}
+        self._track_created = bool(
+            config.watchdog_cycles > 0
+            or any(f.kind == "abort-task" for f in config.faults)
+        )
         for core_id in range(config.num_cores):
             hierarchy.add_l1_evict_hook(core_id, self._make_discard_hook(core_id))
         gc.reclaim_hooks.append(self._on_reclaim)
+        gc.tracker.on_end.append(self._on_task_end)
 
     # ------------------------------------------------------------------
     # Compressed-line (direct access) state.
@@ -165,6 +201,16 @@ class OStructureManager:
             entry = core_direct.get(vaddr)
             if entry is not None:
                 entry.drop(version)
+        # A reclaimed block is a free block: backpressured cores retry.
+        if self._waiters.get(ALLOC_WAIT):
+            self._notify(ALLOC_WAIT)
+
+    def _on_task_end(self, task_id: int) -> None:
+        self._created.pop(task_id, None)
+        # A task ending raises the lowest-live bound, which may make
+        # shadowed blocks reclaimable: let backpressured cores re-probe.
+        if self._waiters.get(ALLOC_WAIT):
+            self._notify(ALLOC_WAIT)
 
     def _cache_version(self, core_id: int, vaddr: int, block: VersionBlock) -> None:
         """Selectively cache one version in the core's compressed line."""
@@ -227,11 +273,47 @@ class OStructureManager:
     def add_waiter(self, vaddr: int, cb: Callable[[], None]) -> None:
         self._waiters.setdefault(vaddr, []).append(cb)
 
+    def remove_waiter(self, vaddr: int, cb: Callable[[], None]) -> bool:
+        """Unregister one parked waiter.
+
+        Returns False when the callback is no longer registered — a
+        wake-up batch already popped it and will fire it shortly (the
+        caller must then treat that in-flight event as stale).
+        """
+        cbs = self._waiters.get(vaddr)
+        if cbs is None or cb not in cbs:
+            return False
+        cbs.remove(cb)
+        if not cbs:
+            del self._waiters[vaddr]
+        return True
+
     def waiter_count(self, vaddr: int) -> int:
         return len(self._waiters.get(vaddr, ()))
 
     def has_waiters(self) -> bool:
         return any(self._waiters.values())
+
+    def kick_waiters(self) -> int:
+        """Re-deliver every parked wake-up (lost-wake recovery).
+
+        Pops every waiter list and schedules the callbacks directly,
+        bypassing ``_notify`` — which a fault injector may have wrapped
+        to drop wake-ups in the first place.  Harmless when the waits
+        are legitimate: a premature retry that still cannot complete
+        simply re-parks.  Returns the number of waiters woken.
+        """
+        woken = 0
+        for vaddr in list(self._waiters):
+            cbs = self._waiters.pop(vaddr, None)
+            if not cbs:
+                continue
+            woken += len(cbs)
+            if len(cbs) == 1:
+                self.sim.schedule(1, cbs[0])
+            else:
+                self.sim.schedule(1, _BatchWake(cbs))
+        return woken
 
     def _notify(self, vaddr: int) -> None:
         """Wake every waiter on ``vaddr``; they retry next cycle.
@@ -376,6 +458,38 @@ class OStructureManager:
             )
         return lat + self._extra(), (block.version, block.value)
 
+    def _allocate_block(self, vaddr: int) -> tuple[int, int]:
+        """Allocate a version block, applying backpressure on pressure.
+
+        When the free list and its refill budget are both spent, an
+        emergency collection reclaims every provably unreachable
+        shadowed block first.  If that produces nothing but blocks are
+        still queued (they may become unreachable as tasks end), the
+        requesting core is stalled on :data:`ALLOC_WAIT`; only when the
+        queues are empty — reclamation provably cannot free anything —
+        does :class:`FreeListExhausted` reach software.
+        """
+        try:
+            return self.free_list.allocate()
+        except FreeListExhausted:
+            if not self.config.allocation_backpressure:
+                raise
+        self.gc.emergency_collect()
+        if self.free_list.free_count:
+            return self.free_list.allocate()
+        if self.gc.reclaim_pending():
+            self.stats.backpressure_stalls += 1
+            raise StallSignal(
+                vaddr,
+                "version-block free list exhausted; stalling for reclamation",
+                wait_addr=ALLOC_WAIT,
+                backpressure=True,
+            )
+        raise FreeListExhausted(
+            "version-block free list empty, refill budget spent, and no "
+            "shadowed block can ever be reclaimed"
+        )
+
     def store_version(
         self, core_id: int, vaddr: int, version: int, value: Any, task_id: int | None = None
     ) -> tuple[int, None]:
@@ -386,7 +500,7 @@ class OStructureManager:
         # Root pointer / predecessor line is modified: exclusive access,
         # which also invalidates other cores' compressed lines.
         lat += self.hierarchy.access(core_id, vaddr, write=True)
-        paddr, trap_lat = self.free_list.allocate()
+        paddr, trap_lat = self._allocate_block(vaddr)
         lat += trap_lat
         self.gc.maybe_trigger()
         block = VersionBlock(version, value, paddr)
@@ -405,7 +519,9 @@ class OStructureManager:
         lat += self.hierarchy.write_no_fetch(core_id, paddr)
         self.stats.versions_created += 1
         if shadowed is not None:
-            self.gc.register_shadowed(shadowed, lst)
+            self.gc.register_shadowed(shadowed, lst, block.version)
+        if task_id is not None and self._track_created:
+            self._created.setdefault(task_id, []).append((vaddr, version))
         self._cache_version(core_id, vaddr, block)
         self._notify(vaddr)
         return lat, None
@@ -465,15 +581,89 @@ class OStructureManager:
                 f"task {task_id} does not hold version {version} of 0x{vaddr:x} "
                 f"(locked_by={block.locked_by})"
             )
+        if new_version is not None:
+            # Create the renamed copy *before* releasing the lock: the
+            # allocation can stall on free-list backpressure, and the
+            # op's retry must find its pre-state (the lock) intact.
+            slat, _ = self.store_version(core_id, vaddr, new_version, block.value, task_id)
+            lat += slat
         block.locked_by = None
         self.stats.versions_unlocked += 1
         lat += self.hierarchy.access(core_id, block.paddr, write=True)
         self._cache_version(core_id, vaddr, block)
-        if new_version is not None:
-            slat, _ = self.store_version(core_id, vaddr, new_version, block.value, task_id)
-            lat += slat
         self._notify(vaddr)
         return lat + self._extra(), None
+
+    # ------------------------------------------------------------------
+    # Abort-and-retry rollback (watchdog / fault-injection recovery).
+    # ------------------------------------------------------------------
+
+    def can_abort_task(self, task_id: int) -> bool:
+        """Is rolling back ``task_id`` safe right now?
+
+        Unsafe when a version the task created was already locked by a
+        *successor* (e.g. a renamed ticket baton the next task grabbed):
+        dropping it is impossible and leaving it means the replay's
+        re-store would fault on a duplicate.
+        """
+        for vaddr, version in self._created.get(task_id, ()):
+            lst = self.lists.get(vaddr)
+            if lst is None:
+                continue
+            block, _ = lst.find_exact(version)
+            if block is not None and block.locked_by not in (None, task_id):
+                return False
+        return True
+
+    def abort_task(self, core_id: int, task_id: int) -> int:
+        """Roll back ``task_id``'s version-store footprint; returns drops.
+
+        Releases every lock the task holds via UNLOCK-VERSION (waking
+        the waiters that deadlocked on them) and drops the uncommitted
+        versions it created, newest first.  The caller (the core's
+        ``abort_and_retry``) re-runs the task generator from scratch;
+        replay is value-deterministic because a task's reads are capped
+        at its own id and versions at or below it are immutable.
+        """
+        # Release locks first: a version the task created *and* locked
+        # must be unlocked before the drop below can remove it.  Going
+        # through self.unlock_version keeps the sanitizer's mirror (and
+        # its waiter notification) in the loop.
+        for vaddr, lst in list(self.lists.items()):
+            for block in list(lst):
+                if block.locked_by == task_id:
+                    self.unlock_version(core_id, vaddr, block.version, task_id)
+        dropped = 0
+        for vaddr, version in reversed(self._created.pop(task_id, [])):
+            if self._drop_version(core_id, vaddr, version):
+                dropped += 1
+        return dropped
+
+    def _drop_version(self, core_id: int, vaddr: int, version: int) -> bool:
+        """Remove one uncommitted version (abort rollback); True if dropped."""
+        lst = self.lists.get(vaddr)
+        if lst is None:
+            return False
+        block, _ = lst.find_exact(version)
+        if block is None or block.locked:
+            # Already reclaimed, or handed off locked to a successor
+            # (can_abort_task refuses the latter before it gets here).
+            return False
+        lst.remove(block)
+        # Purge any GC queue entry or a later phase double-releases it.
+        self.gc.forget_block(block)
+        self.free_list.release(block.paddr)
+        self.hierarchy.invalidate_everywhere(block.paddr)
+        self._memo_core = -1
+        for core_direct in self._direct:
+            entry = core_direct.get(vaddr)
+            if entry is not None:
+                entry.drop(version)
+        for hook in self.drop_hooks:
+            hook(vaddr, version)
+        if self._waiters.get(ALLOC_WAIT):
+            self._notify(ALLOC_WAIT)
+        return True
 
     # ------------------------------------------------------------------
     # O-structure lifecycle (Section III-C).
@@ -528,6 +718,13 @@ class OStructureManager:
         """Describe parked waiters (deadlock diagnostics)."""
         out = []
         for vaddr, cbs in self._waiters.items():
-            if cbs:
+            if not cbs:
+                continue
+            if vaddr == ALLOC_WAIT:
+                out.append(
+                    f"{len(cbs)} waiter(s) on version-block allocation "
+                    f"(free-list backpressure)"
+                )
+            else:
                 out.append(f"{len(cbs)} waiter(s) on 0x{vaddr:x}")
         return out

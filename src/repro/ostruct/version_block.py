@@ -33,7 +33,10 @@ UNLOCKED: int | None = None
 class VersionBlock:
     """One version of one memory location."""
 
-    __slots__ = ("version", "value", "locked_by", "paddr", "next", "head", "shadowed")
+    __slots__ = (
+        "version", "value", "locked_by", "paddr", "next", "head",
+        "shadowed", "shadowed_by",
+    )
 
     def __init__(self, version: int, value: Any, paddr: int):
         if version < 0 or version >= (1 << VERSION_ID_BITS):
@@ -49,6 +52,11 @@ class VersionBlock:
         #: Set once this block has been registered with the GC's shadowed
         #: list, so a block is never registered twice.
         self.shadowed = False
+        #: Version id of the first block that shadowed this one.  Readers
+        #: of a shadowed version always have ids below it (whether they
+        #: select by LOAD-LATEST or by the renaming protocols' exact
+        #: loads), so it is the GC's per-block safety bound.
+        self.shadowed_by = -1
 
     @property
     def next_paddr(self) -> int | None:

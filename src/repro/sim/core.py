@@ -44,6 +44,15 @@ class Core:
         # Stall bookkeeping for the op currently blocking this core.
         self._blocked_op: tuple | None = None
         self._block_start: int = 0
+        self._blocked_addr: int = 0  # waiter-queue key while parked
+        self._blocked_backpressure = False
+        # Abort-and-retry state: _pending_resume marks a scheduled
+        # _resume event (the core's single outstanding continuation);
+        # _abort_pending defers a restart to that stale event so it is
+        # consumed instead of racing the fresh generator.
+        self._pending_resume = False
+        self._abort_pending = False
+        self._restart_delay = 0
         self.busy_cycles = 0
         # Pre-bound continuations: the retire path schedules one event per
         # retired op, and allocating a fresh closure (or bound method) for
@@ -75,17 +84,35 @@ class Core:
     def blocked(self) -> bool:
         return self._blocked_op is not None
 
+    @property
+    def can_abort(self) -> bool:
+        """A task is in flight and its continuation is ours to cancel.
+
+        True while the core is parked on a waiter queue or awaiting its
+        scheduled resume.  Cores parked in a rwlock queue are *not*
+        abortable — the lock's grant callback cannot be withdrawn.
+        """
+        return self.current is not None and (
+            self._blocked_op is not None or self._pending_resume
+        )
+
     def describe_block(self) -> str:
         op = self._blocked_op
         task = self.current
+        suffix = " (free-list backpressure)" if self._blocked_backpressure else ""
         return (
             f"core {self.core_id} task {task.task_id if task else '?'} "
             f"blocked on {op[0]} @0x{op[1]:x} since cycle {self._block_start}"
+            f"{suffix}"
             if op
             else f"core {self.core_id} not blocked"
         )
 
     # -- task lifecycle ---------------------------------------------------------
+
+    def _schedule_resume(self, delay: int) -> None:
+        self._pending_resume = True
+        self.sim.schedule(delay, self._resume_cb)
 
     def _begin_next(self) -> None:
         task = self.queue.popleft()
@@ -94,7 +121,7 @@ class Core:
         self.machine.tracker.begin(task.task_id)
         self.machine.stats.tasks_started += 1
         self._resume_value = None
-        self.sim.schedule(TASK_BEGIN_CYCLES, self._resume_cb)
+        self._schedule_resume(TASK_BEGIN_CYCLES)
 
     def _finish_task(self, result: Any) -> None:
         task = self.current
@@ -111,13 +138,23 @@ class Core:
     # -- execution --------------------------------------------------------------
 
     def _resume(self) -> None:
+        self._pending_resume = False
+        if self._abort_pending:
+            self._restart()
+            return
         value = self._resume_value
         self._resume_value = None
         self._advance(value)
 
     def _retry(self) -> None:
+        if self._abort_pending:
+            self._restart()
+            return
         op = self._blocked_op
-        assert op is not None
+        if op is None:
+            # Stale wake-up: the blocked op was aborted away, or a
+            # watchdog kick raced a real notification.
+            return
         self._execute(op, retry=True)
 
     def _advance(self, send_value: Any) -> None:
@@ -151,10 +188,14 @@ class Core:
             # A previously stalled op finally succeeded.
             stall = self.sim.now - self._block_start
             self.machine.stats.versioned_stall_cycles += stall
+            if self._blocked_backpressure:
+                self.machine.stats.backpressure_stall_cycles += stall
+                self._blocked_backpressure = False
             self._blocked_op = None
+        self.machine.retired_ops += 1
         self.busy_cycles += latency
         self._resume_value = result
-        self.sim.schedule(latency, self._resume_cb)
+        self._schedule_resume(latency)
 
     def _park(self, op: tuple, sig: StallSignal, retry: bool) -> None:
         if self._blocked_op is None:
@@ -164,7 +205,61 @@ class Core:
                 self.machine.stats.root_load_stalls += 1
             self._block_start = self.sim.now
         self._blocked_op = op
-        self.machine.manager.add_waiter(sig.vaddr, self._retry_cb)
+        self._blocked_addr = sig.wait_addr
+        self._blocked_backpressure = sig.backpressure
+        self.machine.manager.add_waiter(sig.wait_addr, self._retry_cb)
+
+    # -- abort-and-retry (watchdog / fault-injection recovery) -----------------
+
+    def abort_and_retry(self, delay: int = 0) -> None:
+        """Abort the in-flight task and restart it from scratch.
+
+        Rolls the task's memory effects back through the manager
+        (releasing its locks, dropping its uncommitted versions), closes
+        the generator, and re-runs it after ``delay`` cycles.  An
+        in-order core has at most one continuation outstanding; if one
+        is already in flight — a scheduled resume, or a wake-up batch
+        holding our retry callback — the restart is deferred to that
+        event so it is consumed instead of racing the fresh generator.
+        """
+        task = self.current
+        if task is None or not self.can_abort:
+            raise SimulationError(
+                f"core {self.core_id} has no abortable task in flight"
+            )
+        m = self.machine
+        deferred = self._pending_resume
+        if self._blocked_op is not None:
+            removed = m.manager.remove_waiter(self._blocked_addr, self._retry_cb)
+            # Not registered => a wake-up already popped the callback
+            # and will fire it shortly: defer the restart to it.
+            deferred = not removed
+            stall = self.sim.now - self._block_start
+            m.stats.versioned_stall_cycles += stall
+            if self._blocked_backpressure:
+                m.stats.backpressure_stall_cycles += stall
+            self._blocked_op = None
+            self._blocked_backpressure = False
+        if self._gen is not None:
+            self._gen.close()
+            self._gen = None
+        m.manager.abort_task(self.core_id, task.task_id)
+        m.stats.tasks_retried += 1
+        self._restart_delay = delay
+        self._resume_value = None
+        if deferred:
+            self._abort_pending = True
+        else:
+            self._restart()
+
+    def _restart(self) -> None:
+        """Re-arm the current task's generator after an abort."""
+        self._abort_pending = False
+        task = self.current
+        assert task is not None
+        self._gen = task.make_generator()
+        self._resume_value = None
+        self._schedule_resume(self._restart_delay)
 
     # -- op dispatch --------------------------------------------------------------
 

@@ -28,13 +28,16 @@ class Simulator:
     same cycle but after all previously scheduled same-cycle events).
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_running")
+    __slots__ = ("now", "_heap", "_seq", "_running", "executed_total")
 
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, Callable[[], Any]]] = []
         self._seq: int = 0
         self._running = False
+        #: Events executed over the simulator's lifetime (all run/step
+        #: calls); the watchdog uses it as a liveness signal.
+        self.executed_total: int = 0
 
     def schedule(self, delay: int, fn: Callable[[], Any]) -> None:
         """Schedule ``fn`` to run ``delay`` cycles from now."""
@@ -95,6 +98,7 @@ class Simulator:
                     executed += 1
         finally:
             self._running = False
+            self.executed_total += executed
         return executed
 
     def step(self) -> bool:
@@ -113,6 +117,7 @@ class Simulator:
             time, _, fn = heapq.heappop(self._heap)
             self.now = time
             fn()
+            self.executed_total += 1
         finally:
             self._running = False
         return True

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Iterable, Sequence
 
 from ..config import MachineConfig
-from ..errors import DeadlockError, SimulationError
+from ..errors import DeadlockError, FreeListExhausted, SimulationError
 from ..ostruct.free_list import FreeList
 from ..ostruct.gc import GarbageCollector
 from ..ostruct.manager import OStructureManager
@@ -82,11 +82,34 @@ class Machine:
             stats=self.stats,
         )
         self.cores = [Core(i, self) for i in range(self.config.num_cores)]
+        #: Micro-ops retired across all cores; the watchdog's progress
+        #: signal (a plain int, bumped on the core retire path).
+        self.retired_ops = 0
         #: Optional ``fn(core, task, op_tuple, latency, stalled)`` called
         #: for every retired (or stalled) micro-op; see repro.sim.trace.
         self.trace_hook = None
         self._ran = False
         self._submitted = False
+        #: Live deadlock watchdog, armed when ``watchdog_cycles > 0``.
+        self.watchdog = None
+        if self.config.watchdog_cycles > 0:
+            from .watchdog import Watchdog
+
+            self.watchdog = Watchdog(
+                self,
+                cycle_budget=self.config.watchdog_cycles,
+                retry_limit=self.config.watchdog_retries,
+                backoff_cycles=self.config.watchdog_backoff_cycles,
+                kick_limit=self.config.watchdog_kick_limit,
+            )
+        #: Deterministic fault injector, armed when ``config.faults`` is
+        #: non-empty.  Imported lazily — repro.faults reaches back into
+        #: the sim layer.
+        self.injector = None
+        if self.config.faults:
+            from ..faults.injector import FaultInjector
+
+            self.injector = FaultInjector(self, self.config.faults)
         #: The repro.check sanitizer, when checked mode is on.
         self.sanitizer = None
         if self.config.checked if checked is None else checked:
@@ -143,7 +166,20 @@ class Machine:
         self._ran = True
         for core in self.cores:
             core.start()
-        self.sim.run(until=max_cycles)
+        if self.watchdog is not None:
+            self.watchdog.start()
+        try:
+            self.sim.run(until=max_cycles)
+        except FreeListExhausted as exc:
+            # Terminal allocation failure: attach the wait graph so the
+            # report shows who was parked when the last block vanished.
+            try:
+                from . import waitgraph
+
+                exc.attach_post_mortem(waitgraph.post_mortem(self))
+            except Exception:  # pragma: no cover - diagnosis must not mask
+                pass
+            raise
         self._check_completion(max_cycles)
         self.stats.cycles = self.sim.now
         for core in self.cores:
@@ -158,6 +194,19 @@ class Machine:
             return
         if max_cycles is not None and self.sim.pending_events:
             return  # stopped by the cycle limit, not a deadlock
+        if any(
+            core._blocked_backpressure for core in unfinished if core.blocked
+        ):
+            # A core parked on allocation never resumed: the free list
+            # stayed exhausted and emergency reclamation never produced a
+            # block.  Report it as resource exhaustion, not a lock cycle.
+            from . import waitgraph
+
+            raise FreeListExhausted(
+                "free-list backpressure never resolved: cores stalled on "
+                "version-block allocation and reclamation freed nothing",
+                post_mortem=waitgraph.post_mortem(self),
+            )
         blocked = []
         for core in unfinished:
             if core.blocked:
@@ -170,6 +219,12 @@ class Machine:
             else:
                 blocked.append(f"core {core.core_id} has queued tasks but never ran")
         blocked.extend(self.manager.blocked_waiter_report())
+        if self.watchdog is not None and self.watchdog.gave_up:
+            blocked.append(
+                f"watchdog recovery exhausted: "
+                f"{self.config.watchdog_retries} abort-and-retry attempt(s) "
+                f"per victim did not break the cycle"
+            )
         raise DeadlockError(blocked)
 
     # -- derived results ------------------------------------------------------------------

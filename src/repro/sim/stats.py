@@ -47,6 +47,15 @@ class SimStats:
     shadowed_registered: int = 0
     free_list_refills: int = 0
 
+    # Fault recovery (allocation backpressure, watchdog, fault injector).
+    emergency_gc_phases: int = 0
+    backpressure_stalls: int = 0
+    backpressure_stall_cycles: int = 0
+    watchdog_trips: int = 0
+    watchdog_kicks: int = 0
+    tasks_retried: int = 0
+    faults_injected: int = 0
+
     # Tasks.
     tasks_started: int = 0
     tasks_finished: int = 0

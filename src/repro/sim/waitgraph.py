@@ -52,12 +52,20 @@ class WaitEdge:
     #: version (GC rule 1 bounds producers of version ``v`` to task ids
     #: <= ``v``).  Empty means the version can never appear.
     pending_producers: frozenset[int] = field(default_factory=frozenset)
+    #: The wait is on version-block *allocation* (free-list backpressure),
+    #: not on any particular version of ``vaddr``.
+    backpressure: bool = False
 
     def describe(self) -> str:
         prefix = (
             f"core {self.waiter_core} (task {self.waiter_task}) waits on "
             f"0x{self.vaddr:x} [{self.op}]"
         )
+        if self.backpressure:
+            return (
+                f"{prefix} — free-list backpressure "
+                f"(waiting for version-block reclamation)"
+            )
         if self.holders:
             held = ", ".join(f"task {t}" for t in sorted(self.holders))
             return f"{prefix} held by {held}"
@@ -120,6 +128,20 @@ def build_wait_graph(machine: "Machine") -> list[WaitEdge]:
         assert op is not None
         vaddr = op[1]
         waiter_task = core.current.task_id if core.current else None
+        if getattr(core, "_blocked_backpressure", False):
+            # Parked on allocation, not on a version: no holder and no
+            # producer analysis applies — reclamation is the resolver.
+            edges.append(
+                WaitEdge(
+                    waiter_core=core.core_id,
+                    waiter_task=waiter_task,
+                    op=op[0],
+                    vaddr=vaddr,
+                    holders=frozenset(),
+                    backpressure=True,
+                )
+            )
+            continue
         holders = _blocking_holders(machine, vaddr, op)
         edges.append(
             WaitEdge(
@@ -138,6 +160,17 @@ def build_wait_graph(machine: "Machine") -> list[WaitEdge]:
     return edges
 
 
+def cycles_from_edges(edges: list[WaitEdge]) -> list[list[int]]:
+    """Simple cycles of the task-level wait-for digraph of ``edges``."""
+    graph = nx.DiGraph()
+    for edge in edges:
+        if edge.waiter_task is None:
+            continue
+        for holder in edge.holders:
+            graph.add_edge(edge.waiter_task, holder)
+    return [sorted(c) for c in nx.simple_cycles(graph)]
+
+
 def find_cycles(machine: "Machine") -> list[list[int]]:
     """Circular waits among tasks (each cycle is a list of task ids).
 
@@ -145,13 +178,7 @@ def find_cycles(machine: "Machine") -> list[list[int]]:
     and returns its simple cycles.  An empty result with blocked cores
     present means the hang is a missing producer, not a lock cycle.
     """
-    graph = nx.DiGraph()
-    for edge in build_wait_graph(machine):
-        if edge.waiter_task is None:
-            continue
-        for holder in edge.holders:
-            graph.add_edge(edge.waiter_task, holder)
-    return [sorted(c) for c in nx.simple_cycles(graph)]
+    return cycles_from_edges(build_wait_graph(machine))
 
 
 def post_mortem(machine: "Machine") -> str:
@@ -160,13 +187,18 @@ def post_mortem(machine: "Machine") -> str:
     if not edges:
         return "no blocked cores"
     lines = [e.describe() for e in edges]
-    cycles = find_cycles(machine)
+    cycles = cycles_from_edges(edges)
     if cycles:
         for cycle in cycles:
             lines.append(
                 "LOCK CYCLE: " + " -> ".join(f"task {t}" for t in cycle)
                 + f" -> task {cycle[0]}"
             )
+    elif any(e.backpressure for e in edges):
+        lines.append(
+            "no lock cycle: core(s) stalled on version-block allocation — "
+            "the free list is exhausted and reclamation has not freed a block"
+        )
     elif any(not e.holders and not e.pending_producers for e in edges):
         lines.append("no lock cycle: missing producer(s) — check version wiring")
     else:

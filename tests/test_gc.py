@@ -35,7 +35,7 @@ class TestShadowRegistration:
         # Re-registering the same block is a no-op.
         lst = rig.manager.lists[rig.addr]
         old = next(b for b in lst if b.version == 1)
-        rig.gc.register_shadowed(old, lst)
+        rig.gc.register_shadowed(old, lst, 2)
         assert rig.gc.shadowed_count == 1
 
     def test_rename_on_unlock_shadows_old_version(self, rig):
@@ -59,14 +59,21 @@ class TestPhases:
         rig.tracker.begin(1)
         stored(rig, 3)  # task 1 still active
         rig.gc.start_phase()
-        # Recorded youngest = 1; oldest active = 1, not younger: no reclaim.
+        # Pending: v1 (shadowed by 2) and v2 (shadowed by 3), so the
+        # recorded bound is 3; oldest active = 1: no reclaim.
         assert rig.gc.pending_count == 2
         assert rig.stats.gc_reclaimed == 0
         rig.tracker.begin(2)
         rig.tracker.end(1)
-        # Oldest active (2) is now younger than recorded (1): finalized.
+        # Oldest active (2) still at or below the bound (readers of v2
+        # can hold any id below its shadower, 3): still held.
+        assert rig.stats.gc_reclaimed == 0
+        rig.tracker.begin(4)
+        rig.tracker.end(2)
+        # Oldest active (4) is now above the bound: finalized.
         assert rig.stats.gc_reclaimed == 2
         assert rig.gc.pending_count == 0
+        rig.tracker.end(4)
 
     def test_versions_shadowed_during_phase_wait_for_next(self, rig):
         rig.tracker.begin(1)
@@ -75,10 +82,11 @@ class TestPhases:
         stored(rig, 1, start=3)  # shadows version 2 mid-phase
         assert rig.gc.shadowed_count == 1  # version 2 parked in shadowed list
         assert rig.gc.pending_count == 1  # version 1 pending
-        rig.tracker.begin(2)
+        rig.tracker.begin(3)  # above v1's shadower (2): does not hold it
         rig.tracker.end(1)
         assert rig.stats.gc_reclaimed == 1  # only version 1
         assert sorted(rig.manager.versions_of(rig.addr), reverse=True) == [3, 2]
+        rig.tracker.end(3)
 
     def test_locked_pending_block_is_kept(self, rig):
         stored(rig, 2)
@@ -214,7 +222,7 @@ class TestFinalizeEdges:
         lst = rig.manager.lists[rig.addr]
         # Defensive path: queue the current head (never happens through
         # store_version, but _finalize must refuse to reclaim a head).
-        rig.gc.register_shadowed(lst.head, lst)
+        rig.gc.register_shadowed(lst.head, lst, 2)
         rig.gc.start_phase()
         assert rig.stats.gc_reclaimed == 0
         assert rig.gc.shadowed_count == 1

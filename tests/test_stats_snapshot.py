@@ -53,3 +53,48 @@ def test_machine_run_snapshot_covers_every_core():
     assert set(snap["per_core_cycles"]) == {"0", "1", "2"}
     assert all(v > 0 for v in snap["per_core_cycles"].values())
     assert snap["l1_miss_rate"] == stats.l1_miss_rate
+
+
+def test_snapshot_includes_recovery_counters():
+    """The fault-injection/recovery counters must ride through snapshot()
+    and a JSON round trip identically (they feed cached sweep rows)."""
+    recovery = (
+        "emergency_gc_phases",
+        "backpressure_stalls",
+        "backpressure_stall_cycles",
+        "watchdog_trips",
+        "watchdog_kicks",
+        "tasks_retried",
+        "faults_injected",
+    )
+    s = SimStats()
+    for i, name in enumerate(recovery, start=1):
+        setattr(s, name, i)
+    snap = s.snapshot()
+    for i, name in enumerate(recovery, start=1):
+        assert snap[name] == i
+    assert json.loads(json.dumps(snap)) == snap
+
+
+def test_recovery_counters_populated_by_watchdog_run():
+    from repro.ostruct import isa
+
+    m = Machine(MachineConfig(num_cores=2, watchdog_cycles=2_000))
+    a = Versioned(m.heap.alloc_versioned(1))
+    b = Versioned(m.heap.alloc_versioned(1))
+    m.manager.store_version(0, a.addr, 0, 1)
+    m.manager.store_version(0, b.addr, 0, 2)
+
+    def body(tid, mine, want):
+        yield mine.lock_load_ver(0)
+        yield isa.compute(50)
+        yield want.lock_load_ver(0)
+        yield mine.unlock_ver(0)
+        yield want.unlock_ver(0)
+
+    m.submit([Task(1, body, a, b), Task(2, body, b, a)])
+    stats = m.run()
+    snap = stats.snapshot()
+    assert snap["watchdog_trips"] >= 1
+    assert snap["tasks_retried"] == 1
+    assert json.loads(json.dumps(snap)) == snap

@@ -171,3 +171,79 @@ def test_out_of_range_queued_task_not_a_producer():
     (edge,) = build_wait_graph(m)
     assert edge.pending_producers == frozenset()
     assert "no producer" in post_mortem(m)
+
+
+def test_two_disjoint_cycles_both_reported():
+    # Four cores, two independent ABBA pairs: the detector must report
+    # both cycles, not stop at the first.
+    m = Machine(MachineConfig(num_cores=4))
+    cells = [Versioned(m.heap.alloc_versioned(1)) for _ in range(4)]
+    for c in cells:
+        m.manager.store_version(0, c.addr, 0, 0)
+
+    def body(tid, mine, want):
+        yield mine.lock_load_ver(0)
+        yield isa.compute(1000)
+        yield want.lock_load_ver(0)
+
+    tasks = [
+        Task(1, body, cells[0], cells[1]),
+        Task(2, body, cells[1], cells[0]),
+        Task(3, body, cells[2], cells[3]),
+        Task(4, body, cells[3], cells[2]),
+    ]
+    m.submit(tasks)
+    run_to_deadlock(m)
+    cycles = find_cycles(m)
+    assert sorted(cycles) == [[1, 2], [3, 4]]
+    report = post_mortem(m)
+    assert report.count("LOCK CYCLE") == 2
+
+
+def test_overlapping_cycles_from_synthetic_edges():
+    # One task participating in two cycles (1->2->1 and 1->3->1) — built
+    # from synthetic edges, since a single in-order core cannot wait on
+    # two addresses at once.
+    from repro.sim.waitgraph import WaitEdge, cycles_from_edges
+
+    edges = [
+        WaitEdge(0, 1, "lock_load_version", 0x10, frozenset({2, 3})),
+        WaitEdge(1, 2, "lock_load_version", 0x14, frozenset({1})),
+        WaitEdge(2, 3, "lock_load_version", 0x18, frozenset({1})),
+    ]
+    cycles = cycles_from_edges(edges)
+    assert sorted(cycles) == [[1, 2], [1, 3]]
+
+
+def test_nested_cycle_within_larger_cycle():
+    # 1->2->3->1 plus the chord 2->1: two overlapping simple cycles.
+    from repro.sim.waitgraph import WaitEdge, cycles_from_edges
+
+    edges = [
+        WaitEdge(0, 1, "lock_load_version", 0x10, frozenset({2})),
+        WaitEdge(1, 2, "lock_load_version", 0x14, frozenset({3, 1})),
+        WaitEdge(2, 3, "lock_load_version", 0x18, frozenset({1})),
+    ]
+    cycles = cycles_from_edges(edges)
+    assert sorted(cycles) == [[1, 2], [1, 2, 3]]
+
+
+def test_edges_without_tasks_are_ignored_by_cycle_detection():
+    from repro.sim.waitgraph import WaitEdge, cycles_from_edges
+
+    edges = [
+        WaitEdge(0, None, "load_version", 0x10, frozenset({1})),
+        WaitEdge(1, 1, "load_version", 0x14, frozenset()),
+    ]
+    assert cycles_from_edges(edges) == []
+
+
+def test_backpressure_edge_description():
+    from repro.sim.waitgraph import WaitEdge
+
+    edge = WaitEdge(
+        2, 9, "store_version", 0x40, frozenset(), backpressure=True
+    )
+    text = edge.describe()
+    assert "free-list backpressure" in text
+    assert "reclamation" in text

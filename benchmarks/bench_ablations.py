@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 
 import pytest
+from common import echo
 
 from repro.config import TABLE2
 from repro.harness.report import format_table
@@ -48,10 +49,9 @@ def test_compression_ablation(run_once, scale, runner):
         return rows
 
     rows = run_once(measure)
-    print()
-    print(format_table(("compression", "variant", "cycles", "direct rate",
-                        "full lookups"), rows,
-                       title="Ablation: compressed version-block lines"))
+    echo(format_table(("compression", "variant", "cycles", "direct rate",
+                       "full lookups"), rows,
+                      title="Ablation: compressed version-block lines"))
     by = {(r[0], r[1]): r for r in rows}
     on_seq = by[("on", "1T")]
     off_seq = by[("off", "1T")]
@@ -84,9 +84,8 @@ def test_pollution_avoidance_ablation(run_once, scale, runner):
         return rows
 
     rows = run_once(measure)
-    print()
-    print(format_table(("pollution avoidance", "cycles", "L1 hit rate", "L1 misses"),
-                       rows, title="Ablation: cache-pollution avoidance"))
+    echo(format_table(("pollution avoidance", "cycles", "L1 hit rate", "L1 misses"),
+                      rows, title="Ablation: cache-pollution avoidance"))
 
 
 @pytest.mark.figure("ablation")
@@ -121,9 +120,8 @@ def test_sorted_list_out_of_order_ablation(run_once):
         ("sorted", *results[True]),
         ("unsorted", *results[False]),
     ]
-    print()
-    print(format_table(("mode", "insert walk", "latest walk", "missing walk"), rows,
-                       title="Ablation: version-list sorting (out-of-order creation)"))
+    echo(format_table(("mode", "insert walk", "latest walk", "missing walk"), rows,
+                      title="Ablation: version-list sorting (out-of-order creation)"))
     # Sorting costs on out-of-order insert but makes LOAD-LATEST O(1) and
     # bounds the cost of probing uncreated versions.
     assert results[True][0] >= results[False][0]

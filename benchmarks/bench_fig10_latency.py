@@ -9,15 +9,14 @@ performance by up to 16%. The impact is much milder when using smaller
 from __future__ import annotations
 
 import pytest
+from common import run_and_echo
 
 from repro.harness.experiments import fig10_latency
 
 
 @pytest.mark.figure("fig10")
 def test_fig10_latency(run_once, scale, runner):
-    result = run_once(fig10_latency, scale, runner=runner)
-    print()
-    print(result["text"])
+    result = run_and_echo(run_once, fig10_latency, scale, runner=runner)
 
     # Injected latency only ever slows sequential runs down; parallel
     # runs get slack for convoy-timing luck (delaying one task can

@@ -9,15 +9,14 @@ red-black tree gains least (single writer).
 from __future__ import annotations
 
 import pytest
+from common import run_and_echo
 
 from repro.harness.experiments import fig6_speedup
 
 
 @pytest.mark.figure("fig6")
 def test_fig6_speedup(run_once, scale, runner):
-    result = run_once(fig6_speedup, scale, runner=runner)
-    print()
-    print(result["text"])
+    result = run_and_echo(run_once, fig6_speedup, scale, runner=runner)
 
     by_bench: dict[str, list[float]] = {}
     for bench, size, mix, speedup in result["rows"]:

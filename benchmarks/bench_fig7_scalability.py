@@ -9,15 +9,14 @@ red-black tree flattens early (single writer throttles the root).
 from __future__ import annotations
 
 import pytest
+from common import run_and_echo
 
 from repro.harness.experiments import fig7_scalability
 
 
 @pytest.mark.figure("fig7")
 def test_fig7_scalability(run_once, scale, runner):
-    result = run_once(fig7_scalability, scale, runner=runner)
-    print()
-    print(result["text"])
+    result = run_and_echo(run_once, fig7_scalability, scale, runner=runner)
 
     series = result["series"]
     cores = result["cores"]

@@ -9,15 +9,14 @@ self-speedup ~12 vs rwlock ~8.
 from __future__ import annotations
 
 import pytest
+from common import run_and_echo
 
 from repro.harness.experiments import fig8_snapshot_isolation
 
 
 @pytest.mark.figure("fig8")
 def test_fig8_snapshot_isolation(run_once, scale, runner):
-    result = run_once(fig8_snapshot_isolation, scale, runner=runner)
-    print()
-    print(result["text"])
+    result = run_and_echo(run_once, fig8_snapshot_isolation, scale, runner=runner)
 
     # Shape: the versioned tree's advantage grows with cores for every
     # scan range, and at the top core count it wins for at least one range.

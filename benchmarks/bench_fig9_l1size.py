@@ -8,15 +8,14 @@ sensitive than sequential ones.
 from __future__ import annotations
 
 import pytest
+from common import run_and_echo
 
 from repro.harness.experiments import fig9_l1_size
 
 
 @pytest.mark.figure("fig9")
 def test_fig9_l1_size(run_once, scale, runner):
-    result = run_once(fig9_l1_size, scale, runner=runner)
-    print()
-    print(result["text"])
+    result = run_and_echo(run_once, fig9_l1_size, scale, runner=runner)
 
     deltas = [rel for *_, rel in result["rows"]]
     # Limited impact overall (the paper's bound is ~±0.3 around baseline).

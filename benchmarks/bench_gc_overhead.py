@@ -14,15 +14,14 @@ freshly carved blocks — see EXPERIMENTS.md).
 from __future__ import annotations
 
 import pytest
+from common import run_and_echo
 
 from repro.harness.experiments import gc_overhead
 
 
 @pytest.mark.figure("gc")
 def test_gc_overhead(run_once, scale, runner):
-    result = run_once(gc_overhead, scale, runner=runner)
-    print()
-    print(result["text"])
+    result = run_and_echo(run_once, gc_overhead, scale, runner=runner)
 
     # GC actually ran in the tight configuration (paper: 135 phases).
     assert result["tight_phases"] > 10

@@ -19,6 +19,7 @@ import os
 import time
 
 import pytest
+from common import echo
 
 from repro.config import TABLE2
 from repro.harness.experiments import IRREGULAR
@@ -67,8 +68,7 @@ def test_runner_scaling(run_once, scale, benchmark):
     benchmark.extra_info["jobs"] = PARALLEL_JOBS
     benchmark.extra_info["host_cores"] = os.cpu_count()
 
-    print()
-    print(format_table(
+    echo(format_table(
         ("path", "jobs", "runs", "wall s"),
         [
             ("serial", 1, len(specs), serial_s),

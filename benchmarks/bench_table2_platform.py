@@ -8,6 +8,7 @@ ride the same hierarchy.
 from __future__ import annotations
 
 import pytest
+from common import run_and_echo
 
 from repro.config import TABLE2
 from repro.harness.experiments import table2_platform
@@ -15,9 +16,7 @@ from repro.harness.experiments import table2_platform
 
 @pytest.mark.figure("table2")
 def test_table2_platform(run_once):
-    result = run_once(table2_platform, TABLE2)
-    print()
-    print(result["text"])
+    result = run_and_echo(run_once, table2_platform, TABLE2)
     assert all(result["checks"].values()), result["checks"]
 
 

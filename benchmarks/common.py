@@ -1,0 +1,33 @@
+"""Shared helpers for the ``bench_*.py`` suite.
+
+Every figure bench follows the same skeleton: run the experiment once
+through the pedantic-mode benchmark fixture, then echo the paper-shaped
+table (pytest swallows plain returns; printing is the deliverable).  The
+two helpers here hold that skeleton so the per-figure files contain only
+what is actually specific to their figure — the experiment callable and
+its shape assertions.
+"""
+
+from __future__ import annotations
+
+
+def run_and_echo(run_once, experiment, *args, **kwargs) -> dict:
+    """Run ``experiment`` via the benchmark fixture and print its table.
+
+    ``experiment`` must return a result dict with a ``"text"`` entry (all
+    ``repro.harness.experiments`` callables do).  Returns the result for
+    the caller's shape assertions.
+    """
+    result = run_once(experiment, *args, **kwargs)
+    echo(result["text"])
+    return result
+
+
+def echo(text: str) -> None:
+    """Print a table under pytest's captured-output header.
+
+    The leading blank line keeps the table aligned instead of having its
+    first row glued to pytest's ``bench_x.py::test_y`` progress line.
+    """
+    print()
+    print(text)

@@ -12,6 +12,8 @@ Usage::
     python -m repro fig6 --check           # any target under the sanitizer
     python -m repro fig6 --resume          # reload a partial sweep's rows
     python -m repro fig6 --timeout 300     # kill+retry hung sweep workers
+    python -m repro bench                  # record perf baselines
+    python -m repro bench --compare        # fail on perf regression (CI)
 
 Sweeps fan out over a process pool (``--jobs`` / ``REPRO_JOBS``, default:
 all host cores) and memoise finished runs under ``.repro_cache/`` so a
@@ -72,6 +74,26 @@ def _run_faults_target(scale, config: MachineConfig, budget: int | None):
     from .check.stress import run_fault_check
 
     return run_fault_check(scale, config, budget=budget)
+
+
+def _run_bench_target(args) -> int:
+    from . import perf
+
+    baseline = args.baseline if args.baseline else perf.DEFAULT_BASELINE
+    if args.compare:
+        tolerance = (
+            perf.DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+        )
+        ok, report = perf.compare(baseline, tolerance)
+        print(report)
+        if not ok:
+            print("PERF: regression gate failed", file=sys.stderr)
+            return 1
+        return 0
+    doc = perf.record(baseline)
+    print(perf._format_rows(doc))
+    print(f"baselines written to {baseline}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -144,9 +166,35 @@ def main(argv: list[str] | None = None) -> int:
         metavar="OPS",
         help="ops per random schedule for the 'check' target (CI smoke)",
     )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help=(
+            "for the 'bench' target: compare against the committed "
+            "baselines instead of recording them; exit 1 on regression"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed fractional perf drop for bench --compare (default 0.25)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="bench baseline file (default: benchmarks/baselines.json)",
+    )
     args = parser.parse_args(argv)
     if args.resume and args.no_cache:
         parser.error("--resume and --no-cache are mutually exclusive")
+
+    if "bench" in args.targets:
+        if args.targets != ["bench"]:
+            parser.error("'bench' cannot be combined with other targets")
+        return _run_bench_target(args)
 
     known = list(EXPERIMENTS) + ["check", "faults"]
     if args.targets == ["list"]:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..ostruct.manager import ALLOC_WAIT, _BatchWake
+from ..ostruct.manager import ALLOC_WAIT
 from .spec import FaultSpec, validate_plan
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -89,11 +89,7 @@ class FaultInjector:
                     return
                 # delay-wake: deliver late (a normal wake is delay 1).
                 cbs = manager._waiters.pop(vaddr)
-                delay = max(2, f.value)
-                if len(cbs) == 1:
-                    manager.sim.schedule(delay, cbs[0])
-                else:
-                    manager.sim.schedule(delay, _BatchWake(cbs))
+                manager._schedule_wake(cbs, max(2, f.value))
                 self._record(f)
                 return
         return self._orig_notify(vaddr)

@@ -25,6 +25,15 @@ REFILL_TRAP_CYCLES = 500
 class FreeList:
     """Stack of free version-block physical addresses."""
 
+    __slots__ = (
+        "_stats",
+        "_free",
+        "_bump",
+        "_refill_blocks",
+        "_refills_left",
+        "_on_refill_page",
+    )
+
     def __init__(
         self,
         *,

@@ -110,17 +110,33 @@ class _DirectEntry:
         self.blocks.pop(version, None)
 
 
-class _BatchWake:
-    """One scheduled event that runs a whole waiter list in order."""
+class _WakeBatch:
+    """One scheduled event that runs a whole waiter list in order.
 
-    __slots__ = ("cbs",)
+    Batch records (and the waiter lists they carry) are pooled on the
+    manager: notifications are the highest-frequency allocation site in
+    contended runs, and recycling the record plus its list makes the
+    park/notify/retry cycle allocation-free in steady state.  A record is
+    returned to the pool only after it fires cleanly; one abandoned by a
+    propagating fault simply falls to the garbage collector.
+    """
 
-    def __init__(self, cbs: list[Callable[[], None]]):
-        self.cbs = cbs
+    __slots__ = ("manager", "cbs")
+
+    def __init__(self, manager: "OStructureManager"):
+        self.manager = manager
+        self.cbs: list[Callable[[], None]] | None = None
 
     def __call__(self) -> None:
-        for cb in self.cbs:
+        cbs = self.cbs
+        assert cbs is not None
+        self.cbs = None
+        for cb in cbs:
             cb()
+        cbs.clear()
+        manager = self.manager
+        manager._list_pool.append(cbs)
+        manager._batch_pool.append(self)
 
 
 class OStructureManager:
@@ -156,6 +172,9 @@ class OStructureManager:
         ]
         #: vaddr -> callbacks waiting for a store/unlock at that address.
         self._waiters: dict[int, list[Callable[[], None]]] = {}
+        # Recycled wake-batch records and waiter lists (see _WakeBatch).
+        self._batch_pool: list[_WakeBatch] = []
+        self._list_pool: list[list[Callable[[], None]]] = []
         #: Addresses registered as data-structure roots (stall accounting).
         self.roots: set[int] = set()
         # One-entry memo of the last (core, vaddr) -> _DirectEntry lookup.
@@ -271,7 +290,12 @@ class OStructureManager:
     # ------------------------------------------------------------------
 
     def add_waiter(self, vaddr: int, cb: Callable[[], None]) -> None:
-        self._waiters.setdefault(vaddr, []).append(cb)
+        cbs = self._waiters.get(vaddr)
+        if cbs is None:
+            pool = self._list_pool
+            cbs = pool.pop() if pool else []
+            self._waiters[vaddr] = cbs
+        cbs.append(cb)
 
     def remove_waiter(self, vaddr: int, cb: Callable[[], None]) -> bool:
         """Unregister one parked waiter.
@@ -286,6 +310,7 @@ class OStructureManager:
         cbs.remove(cb)
         if not cbs:
             del self._waiters[vaddr]
+            self._list_pool.append(cbs)
         return True
 
     def waiter_count(self, vaddr: int) -> int:
@@ -309,11 +334,25 @@ class OStructureManager:
             if not cbs:
                 continue
             woken += len(cbs)
-            if len(cbs) == 1:
-                self.sim.schedule(1, cbs[0])
-            else:
-                self.sim.schedule(1, _BatchWake(cbs))
+            self._schedule_wake(cbs, 1)
         return woken
+
+    def _schedule_wake(self, cbs: list[Callable[[], None]], delay: int) -> None:
+        """Schedule one event that fires a popped waiter list in order.
+
+        ``cbs`` must already be detached from ``_waiters``; it is recycled
+        into the list pool after delivery (immediately for the
+        single-waiter direct path, by the batch record otherwise).
+        """
+        if len(cbs) == 1:
+            self.sim.schedule(delay, cbs[0])
+            cbs.clear()
+            self._list_pool.append(cbs)
+        else:
+            pool = self._batch_pool
+            batch = pool.pop() if pool else _WakeBatch(self)
+            batch.cbs = cbs
+            self.sim.schedule(delay, batch)
 
     def _notify(self, vaddr: int) -> None:
         """Wake every waiter on ``vaddr``; they retry next cycle.
@@ -329,10 +368,7 @@ class OStructureManager:
         cbs = self._waiters.pop(vaddr, None)
         if not cbs:
             return
-        if len(cbs) == 1:
-            self.sim.schedule(1, cbs[0])
-        else:
-            self.sim.schedule(1, _BatchWake(cbs))
+        self._schedule_wake(cbs, 1)
 
     # ------------------------------------------------------------------
     # Shared lookup machinery.

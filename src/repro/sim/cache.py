@@ -7,6 +7,17 @@ recency only; data is held functionally by higher layers.  An optional
 version-block state whenever its backing line leaves the cache (by
 eviction *or* coherence invalidation), mirroring the paper's "discard the
 compressed version block on a coherence message" policy.
+
+Storage layout: instead of one dict per set, all ways live in flat
+parallel arrays (``_tags`` / ``_stamps`` / ``_dirty``) indexed by
+``set * ways + way``, with ``-1`` tagging an empty way.  Way scans use
+``list.index`` with explicit bounds, which runs at C speed over the
+handful of ways per set; LRU state is an integer stamp per way (the
+global tick counter is monotonically increasing, so stamps are unique and
+the minimum-stamp way is exactly the dict kernel's least-recent entry).
+This keeps the steady state allocation-free: a hit, an install and an
+eviction each mutate list slots in place rather than resizing per-set
+dicts and a global dirty set.
 """
 
 from __future__ import annotations
@@ -22,11 +33,14 @@ class Cache:
     __slots__ = (
         "config",
         "name",
-        "_sets",
+        "_tags",
+        "_stamps",
         "_dirty",
         "_tick",
         "_num_sets",
+        "_ways",
         "_block_shift",
+        "_resident",
         "evict_hook",
     )
 
@@ -34,11 +48,15 @@ class Cache:
         self.config = config
         self.name = name
         self._num_sets = config.num_sets
+        self._ways = config.ways
         self._block_shift = config.block_bytes.bit_length() - 1
-        # One dict per set: block_number -> last-use tick (LRU bookkeeping).
-        self._sets: list[dict[int, int]] = [{} for _ in range(self._num_sets)]
-        self._dirty: set[int] = set()
+        n = self._num_sets * self._ways
+        # Flat way arrays: tag (-1 = empty), LRU stamp, dirty flag.
+        self._tags: list[int] = [-1] * n
+        self._stamps: list[int] = [0] * n
+        self._dirty: list[bool] = [False] * n
         self._tick = 0
+        self._resident = 0
         #: Called with the block number whenever a block leaves this cache.
         self.evict_hook: Callable[[int], None] | None = None
 
@@ -48,73 +66,115 @@ class Cache:
         """Block number containing byte address ``addr``."""
         return addr >> self._block_shift
 
-    def _set_of(self, block: int) -> dict[int, int]:
-        return self._sets[block % self._num_sets]
-
     # -- cache operations ---------------------------------------------------
 
     def lookup(self, block: int) -> bool:
         """True if ``block`` is resident; updates recency on a hit."""
-        s = self._set_of(block)
-        if block in s:
-            self._tick += 1
-            s[block] = self._tick
-            return True
-        return False
+        base = (block % self._num_sets) * self._ways
+        try:
+            i = self._tags.index(block, base, base + self._ways)
+        except ValueError:
+            return False
+        self._tick += 1
+        self._stamps[i] = self._tick
+        return True
 
     def contains(self, block: int) -> bool:
         """Residency check without touching recency."""
-        return block in self._set_of(block)
+        base = (block % self._num_sets) * self._ways
+        try:
+            self._tags.index(block, base, base + self._ways)
+        except ValueError:
+            return False
+        return True
 
     def insert(self, block: int, dirty: bool = False) -> int | None:
         """Install ``block``; returns the evicted block number, if any."""
-        s = self._set_of(block)
+        ways = self._ways
+        base = (block % self._num_sets) * ways
+        end = base + ways
+        tags = self._tags
         self._tick += 1
         victim: int | None = None
-        if block not in s and len(s) >= self.config.ways:
-            victim = min(s, key=s.__getitem__)
-            del s[victim]
-            self._dirty.discard(victim)
-            if self.evict_hook is not None:
-                self.evict_hook(victim)
-        s[block] = self._tick
+        try:
+            i = tags.index(block, base, end)
+        except ValueError:
+            try:
+                i = tags.index(-1, base, end)
+            except ValueError:
+                # Set full: evict the LRU way.  Stamps are unique, so the
+                # minimum-stamp way is the least recently used entry.
+                stamps = self._stamps
+                i = base
+                best = stamps[base]
+                for j in range(base + 1, end):
+                    if stamps[j] < best:
+                        best = stamps[j]
+                        i = j
+                victim = tags[i]
+                tags[i] = -1
+                self._dirty[i] = False
+                self._resident -= 1
+                if self.evict_hook is not None:
+                    self.evict_hook(victim)
+            tags[i] = block
+            self._dirty[i] = False
+            self._resident += 1
+        self._stamps[i] = self._tick
         if dirty:
-            self._dirty.add(block)
+            self._dirty[i] = True
         return victim
 
     def mark_dirty(self, block: int) -> None:
-        if self.contains(block):
-            self._dirty.add(block)
+        base = (block % self._num_sets) * self._ways
+        try:
+            i = self._tags.index(block, base, base + self._ways)
+        except ValueError:
+            return
+        self._dirty[i] = True
 
     def is_dirty(self, block: int) -> bool:
-        return block in self._dirty
+        base = (block % self._num_sets) * self._ways
+        try:
+            i = self._tags.index(block, base, base + self._ways)
+        except ValueError:
+            return False
+        return self._dirty[i]
 
     def invalidate(self, block: int) -> bool:
         """Remove ``block`` if present; returns whether it was resident."""
-        s = self._set_of(block)
-        if block in s:
-            del s[block]
-            self._dirty.discard(block)
-            if self.evict_hook is not None:
-                self.evict_hook(block)
-            return True
-        return False
+        base = (block % self._num_sets) * self._ways
+        tags = self._tags
+        try:
+            i = tags.index(block, base, base + self._ways)
+        except ValueError:
+            return False
+        tags[i] = -1
+        self._dirty[i] = False
+        self._resident -= 1
+        if self.evict_hook is not None:
+            self.evict_hook(block)
+        return True
 
     def flush(self) -> None:
         """Empty the cache (used between experiment phases)."""
-        for s in self._sets:
-            for block in list(s):
-                del s[block]
-                if self.evict_hook is not None:
-                    self.evict_hook(block)
-        self._dirty.clear()
+        tags = self._tags
+        dirty = self._dirty
+        hook = self.evict_hook
+        for i, block in enumerate(tags):
+            if block != -1:
+                tags[i] = -1
+                dirty[i] = False
+                self._resident -= 1
+                if hook is not None:
+                    hook(block)
 
     @property
     def resident_blocks(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return self._resident
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<Cache {self.name} {self.config.size_bytes // 1024}KiB "
-            f"{self.config.ways}-way, {self.resident_blocks} blocks resident>"
+            f"{self.config.ways}-way, {self._resident} blocks resident>"
         )

@@ -8,6 +8,13 @@ version-block list head; here that is modelled by the eviction/invalidation
 hooks on the L1s, which discard the corresponding compressed version block
 (Section III-A: "the simplest course of action is to discard the compressed
 version block for that O-structure").
+
+Sharer lists are integer bitmasks (bit ``c`` set = core ``c``'s L1 holds
+the block) rather than per-block ``set`` objects: membership updates are
+single bitwise ops with no container allocation, and "any remote sharer?"
+collapses to one mask-and-test.  Iteration peels the lowest set bit, so
+cores are always visited in ascending id order — a total order, where set
+iteration was merely hash order.
 """
 
 from __future__ import annotations
@@ -23,25 +30,34 @@ class Directory:
 
     def __init__(self, l1s: list[Cache], stats: SimStats, remote_penalty: int):
         self._l1s = l1s
-        self._sharers: dict[int, set[int]] = {}
+        # block -> sharer bitmask; blocks with no sharers are removed.
+        self._sharers: dict[int, int] = {}
         self._stats = stats
         self.remote_penalty = remote_penalty
 
     def sharers_of(self, block: int) -> frozenset[int]:
         """The set of core ids whose L1 currently shares ``block``."""
-        return frozenset(self._sharers.get(block, ()))
+        m = self._sharers.get(block, 0)
+        cores = []
+        while m:
+            low = m & -m
+            m ^= low
+            cores.append(low.bit_length() - 1)
+        return frozenset(cores)
 
     def note_fill(self, core_id: int, block: int) -> None:
         """Record that ``core_id``'s L1 now holds ``block``."""
-        self._sharers.setdefault(block, set()).add(core_id)
+        sharers = self._sharers
+        sharers[block] = sharers.get(block, 0) | (1 << core_id)
 
     def note_eviction(self, core_id: int, block: int) -> None:
         """Record that ``core_id``'s L1 dropped ``block``."""
-        s = self._sharers.get(block)
-        if s is not None:
-            s.discard(core_id)
-            if not s:
-                del self._sharers[block]
+        sharers = self._sharers
+        m = sharers.get(block, 0) & ~(1 << core_id)
+        if m:
+            sharers[block] = m
+        else:
+            sharers.pop(block, None)
 
     def acquire_exclusive(self, core_id: int, block: int) -> int:
         """Invalidate all other sharers of ``block``; returns extra latency.
@@ -50,25 +66,29 @@ class Directory:
         single remote round-trip when at least one remote sharer existed,
         and zero otherwise.
         """
-        s = self._sharers.get(block)
-        if not s:
-            return 0
-        others = [c for c in s if c != core_id]
+        sharers = self._sharers
+        others = sharers.get(block, 0) & ~(1 << core_id)
         if not others:
             return 0
-        for c in others:
+        l1s = self._l1s
+        stats = self._stats
+        rest = others
+        while rest:
+            low = rest & -rest
+            rest ^= low
             # invalidate() fires the L1 evict hook, which already calls
-            # note_eviction and may delete the sharer entry entirely.
-            self._l1s[c].invalidate(block)
-            self._stats.invalidations += 1
-            s.discard(c)
-        if not s:
-            self._sharers.pop(block, None)
+            # note_eviction and may drop the sharer entry entirely; the
+            # explicit clear below also covers stale sharers whose L1
+            # silently lost the block.
+            l1s[low.bit_length() - 1].invalidate(block)
+            stats.invalidations += 1
+            m = sharers.get(block, 0) & ~low
+            if m:
+                sharers[block] = m
+            else:
+                sharers.pop(block, None)
         return self.remote_penalty
 
     def has_remote_copy(self, core_id: int, block: int) -> bool:
         """True if any core other than ``core_id`` shares ``block``."""
-        s = self._sharers.get(block)
-        if not s:
-            return False
-        return any(c != core_id for c in s)
+        return bool(self._sharers.get(block, 0) & ~(1 << core_id))

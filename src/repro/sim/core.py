@@ -33,6 +33,28 @@ if TYPE_CHECKING:  # pragma: no cover
 class Core:
     """One in-order core; drives task generators through the machine."""
 
+    __slots__ = (
+        "core_id",
+        "machine",
+        "sim",
+        "queue",
+        "current",
+        "_gen",
+        "_started",
+        "_blocked_op",
+        "_block_start",
+        "_blocked_addr",
+        "_blocked_backpressure",
+        "_pending_resume",
+        "_abort_pending",
+        "_restart_delay",
+        "busy_cycles",
+        "_resume_value",
+        "_resume_cb",
+        "_retry_cb",
+        "_begin_next_cb",
+    )
+
     def __init__(self, core_id: int, machine: "Machine"):
         self.core_id = core_id
         self.machine = machine

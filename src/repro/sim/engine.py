@@ -1,22 +1,60 @@
-"""Deterministic discrete-event simulation kernel.
+"""Deterministic discrete-event simulation kernel (hierarchical timing wheel).
 
 Everything in the simulated machine — core micro-op retirement, version
-waiter wake-ups, garbage-collection phases — is an event on one global
-heap ordered by ``(time, sequence)``.  The sequence number makes event
-ordering total and therefore the whole simulation reproducible: two runs
-with the same inputs execute events in the same order.
+waiter wake-ups, garbage-collection phases — is an event ordered by
+``(time, sequence)``.  The sequence number makes event ordering total and
+therefore the whole simulation reproducible: two runs with the same inputs
+execute events in the same order, and any kernel that honours the order is
+byte-identical to any other (``tests/test_engine_equivalence.py`` pins the
+current kernel to golden traces recorded on the original heapq kernel).
 
-The kernel is intentionally tiny and allocation-light; per the HPC guides,
-the hot loop avoids attribute lookups and object churn (events are plain
-tuples on a :mod:`heapq`).
+The kernel keeps that contract while getting the dominant events off the
+O(log n) heap path with three tiers:
+
+- **solo fast path** — a simulated core with one outstanding continuation
+  (every sequential run, and any machine draining down to a single event
+  chain) never touches a queue at all: the single pending event lives in
+  three instance fields, and scheduling the next event from inside its
+  callback re-captures them.
+- **near-future wheel** — events within :data:`WHEEL_SLOTS` cycles (cache
+  hit/miss latencies, waiter wake-ups, retire ticks — virtually every
+  event a workload generates) go into a ring of per-cycle buckets.
+  Scheduling is an index-and-append; finding the next occupied bucket is
+  a couple of big-int bit operations on an occupancy bitmask, independent
+  of how sparse the ring is.  Same-cycle events share one bucket and are
+  drained in sequence order in a single pass.
+- **overflow heap** — far-future events (long compute bursts, watchdog
+  ticks, GC phases) stay on a conventional heap and migrate into the
+  wheel as the clock approaches them.
+
+Same-cycle ordering contract (both entry points, identical by design):
+``schedule(0, fn)`` and ``schedule_at(sim.now, fn)`` from inside a
+callback append ``fn`` *after* every previously scheduled event of the
+current cycle — an event never preempts a same-cycle event that was
+scheduled before it.  ``schedule_at`` rejects times strictly in the past
+(``time < now``); ``schedule`` rejects negative delays.  The wheel cannot
+diverge from the old heap kernel here because both orders are exactly
+"ascending sequence number within one cycle".
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from ..errors import SimulationError
+
+#: Width of the near-future wheel in cycles.  Covers every memory-system
+#: latency of the Table II platform (L1 4, L2 35, DRAM 120, plus remote
+#: penalties) with headroom; longer delays take the overflow heap.
+WHEEL_SLOTS = 256
+
+_MASK = WHEEL_SLOTS - 1
+#: Precomputed single-bit masks (``1 << slot`` allocates a fresh big int
+#: on every use; a tuple lookup does not).
+_BIT = tuple(1 << i for i in range(WHEEL_SLOTS))
+#: Precomputed low-bit masks for the wrapped half of an occupancy scan.
+_LOW = tuple((1 << i) - 1 for i in range(WHEEL_SLOTS))
 
 
 class Simulator:
@@ -28,42 +66,202 @@ class Simulator:
     same cycle but after all previously scheduled same-cycle events).
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_running", "executed_total")
+    __slots__ = (
+        "now",
+        "_seq",
+        "_running",
+        "executed_total",
+        "_wheel",
+        "_occ",
+        "_count",
+        "_over",
+        "_solo_time",
+        "_solo_seq",
+        "_solo_fn",
+    )
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: list[tuple[int, int, Callable[[], Any]]] = []
         self._seq: int = 0
         self._running = False
         #: Events executed over the simulator's lifetime (all run/step
         #: calls); the watchdog uses it as a liveness signal.
         self.executed_total: int = 0
+        # Near-future wheel: one flat ``[seq, fn, seq, fn, ...]`` bucket
+        # per cycle slot, kept ascending in seq, plus an occupancy bitmask.
+        self._wheel: list[list] = [[] for _ in range(WHEEL_SLOTS)]
+        self._occ: int = 0
+        self._count: int = 0
+        # Far-future overflow tier: a plain ``(time, seq, fn)`` heap.
+        self._over: list[tuple[int, int, Callable[[], Any]]] = []
+        # Solo fast path: the single pending event, when exactly one is
+        # pending kernel-wide (``_solo_fn is None`` marks the slot empty).
+        self._solo_time: int = 0
+        self._solo_seq: int = 0
+        self._solo_fn: Callable[[], Any] | None = None
+
+    # -- scheduling ---------------------------------------------------------
 
     def schedule(self, delay: int, fn: Callable[[], Any]) -> None:
-        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        """Schedule ``fn`` to run ``delay`` cycles from now.
+
+        ``delay=0`` is legal (also mid-callback) and runs ``fn`` later in
+        the same cycle, after all previously scheduled same-cycle events.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        seq = self._seq = self._seq + 1
+        time = self.now + delay
+        solo = self._solo_fn
+        if solo is not None:
+            # A second event arrives: demote the solo event to the wheel
+            # (or the overflow heap) before inserting the new one, so the
+            # bucket stays ascending in seq.
+            self._solo_fn = None
+            self._insert(self._solo_time, self._solo_seq, solo)
+        elif not (self._count or self._over):
+            self._solo_time = time
+            self._solo_seq = seq
+            self._solo_fn = fn
+            return
+        if delay < WHEEL_SLOTS:
+            slot = time & _MASK
+            bucket = self._wheel[slot]
+            if not bucket:
+                self._occ |= _BIT[slot]
+            bucket.append(seq)
+            bucket.append(fn)
+            self._count += 1
+        else:
+            heappush(self._over, (time, seq, fn))
 
     def schedule_at(self, time: int, fn: Callable[[], Any]) -> None:
-        """Schedule ``fn`` at an absolute cycle count."""
+        """Schedule ``fn`` at an absolute cycle count.
+
+        ``time == self.now`` is legal (also mid-callback) and follows the
+        same same-cycle contract as ``schedule(0, fn)``: ``fn`` runs after
+        all previously scheduled events of the current cycle.
+        """
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time}, already at {self.now}"
             )
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, fn))
+        seq = self._seq = self._seq + 1
+        solo = self._solo_fn
+        if solo is not None:
+            self._solo_fn = None
+            self._insert(self._solo_time, self._solo_seq, solo)
+        elif not (self._count or self._over):
+            self._solo_time = time
+            self._solo_seq = seq
+            self._solo_fn = fn
+            return
+        self._insert(time, seq, fn)
+
+    def _insert(self, time: int, seq: int, fn: Callable[[], Any]) -> None:
+        """File one event into the wheel or the overflow heap.
+
+        Keeps wheel buckets ascending in ``seq`` even when the event is a
+        demoted solo or a migrated overflow entry whose sequence number
+        predates entries already in the bucket.
+        """
+        if time - self.now < WHEEL_SLOTS:
+            slot = time & _MASK
+            bucket = self._wheel[slot]
+            if not bucket:
+                self._occ |= _BIT[slot]
+                bucket.append(seq)
+                bucket.append(fn)
+            elif seq > bucket[-2]:
+                bucket.append(seq)
+                bucket.append(fn)
+            else:
+                i = 0
+                while bucket[i] < seq:
+                    i += 2
+                bucket.insert(i, fn)
+                bucket.insert(i, seq)
+            self._count += 1
+        else:
+            heappush(self._over, (time, seq, fn))
+
+    def _migrate(self) -> None:
+        """Move every overflow event inside the wheel horizon into it."""
+        over = self._over
+        horizon = self.now + WHEEL_SLOTS
+        while over and over[0][0] < horizon:
+            time, seq, fn = heappop(over)
+            self._insert(time, seq, fn)
+
+    # -- introspection ------------------------------------------------------
 
     @property
     def pending_events(self) -> int:
         """Number of events still queued."""
-        return len(self._heap)
+        return (
+            self._count
+            + len(self._over)
+            + (1 if self._solo_fn is not None else 0)
+        )
+
+    def _peek_time(self) -> int | None:
+        """Time of the earliest pending event, or None.  May migrate."""
+        if self._solo_fn is not None:
+            return self._solo_time
+        over = self._over
+        if over and over[0][0] - self.now < WHEEL_SLOTS:
+            self._migrate()
+        if self._count:
+            occ = self._occ
+            pos = self.now & _MASK
+            rot = occ >> pos
+            if rot:
+                return self.now + ((rot & -rot).bit_length() - 1)
+            low = occ & _LOW[pos]
+            return self.now + WHEEL_SLOTS - pos + ((low & -low).bit_length() - 1)
+        if over:
+            return over[0][0]
+        return None
+
+    def _pop_next(self) -> tuple[int, Callable[[], Any]] | None:
+        """Remove and return the earliest event as ``(time, fn)``."""
+        fn = self._solo_fn
+        if fn is not None:
+            self._solo_fn = None
+            return self._solo_time, fn
+        over = self._over
+        if over and over[0][0] - self.now < WHEEL_SLOTS:
+            self._migrate()
+        if not self._count:
+            if not over:
+                return None
+            # The wheel is empty and the overflow head is beyond the
+            # horizon: jump the window forward and pull it in.
+            self.now = over[0][0]
+            self._migrate()
+        occ = self._occ
+        pos = self.now & _MASK
+        rot = occ >> pos
+        if rot:
+            time = self.now + ((rot & -rot).bit_length() - 1)
+        else:
+            low = occ & _LOW[pos]
+            time = self.now + WHEEL_SLOTS - pos + ((low & -low).bit_length() - 1)
+        slot = time & _MASK
+        bucket = self._wheel[slot]
+        fn = bucket[1]
+        del bucket[:2]
+        self._count -= 1
+        if not bucket:
+            self._occ &= ~_BIT[slot]
+        return time, fn
+
+    # -- execution ----------------------------------------------------------
 
     def run(self, until: int | None = None, max_events: int | None = None) -> int:
-        """Drain the event heap.
+        """Drain the event queues.
 
-        Runs until the heap is empty, the clock would pass ``until``, or
+        Runs until no event is pending, the clock would pass ``until``, or
         ``max_events`` events have fired.  Returns the number of events
         executed.  Re-entrant calls are rejected — callbacks must schedule,
         not recurse into the engine.
@@ -71,28 +269,85 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
-        heap = self._heap
-        pop = heapq.heappop
         executed = 0
         try:
             if until is None and max_events is None:
                 # Fast path: no bound checks per event.  This is the loop
-                # every workload run sits in; the peek and the two limit
-                # comparisons are measurable at millions of events.
-                while heap:
-                    time, _, fn = pop(heap)
+                # every workload run sits in; per-event branches are
+                # measurable at millions of events.
+                wheel = self._wheel
+                over = self._over
+                low_masks = _LOW
+                while True:
+                    fn = self._solo_fn
+                    if fn is not None:
+                        # Exactly one event pending anywhere: run it.  Its
+                        # callback usually schedules the next one, which
+                        # re-captures the solo slot without queue traffic.
+                        self._solo_fn = None
+                        self.now = self._solo_time
+                        fn()
+                        executed += 1
+                        continue
+                    if over and over[0][0] - self.now < WHEEL_SLOTS:
+                        self._migrate()
+                    if not self._count:
+                        if not over:
+                            break
+                        self.now = over[0][0]
+                        self._migrate()
+                    occ = self._occ
+                    now = self.now
+                    pos = now & _MASK
+                    rot = occ >> pos
+                    if rot:
+                        time = now + ((rot & -rot).bit_length() - 1)
+                    else:
+                        low = occ & low_masks[pos]
+                        time = now + WHEEL_SLOTS - pos + (
+                            (low & -low).bit_length() - 1
+                        )
+                    slot = time & _MASK
                     self.now = time
-                    fn()
-                    executed += 1
+                    bucket = wheel[slot]
+                    # Drain the whole bucket (one simulated cycle) in one
+                    # pass.  Delay-0 callbacks append to this same bucket
+                    # and are picked up by the growing-length check; the
+                    # per-event _count decrement means a callback of the
+                    # final pending event sees an empty kernel and can
+                    # re-capture the solo slot.
+                    i = 1
+                    done = False
+                    try:
+                        while i < len(bucket):
+                            self._count -= 1
+                            bucket[i]()
+                            i += 2
+                        done = True
+                    finally:
+                        if done:
+                            executed += (i - 1) >> 1
+                            bucket.clear()
+                            self._occ &= ~_BIT[slot]
+                        else:
+                            # An event raised mid-bucket.  Match the heap
+                            # kernel: the raising event is consumed but
+                            # not counted; the rest stay queued.
+                            executed += (i - 1) >> 1
+                            del bucket[: i + 1]
+                            if not bucket:
+                                self._occ &= ~_BIT[slot]
             else:
-                while heap:
-                    time, _, fn = heap[0]
+                while True:
+                    time = self._peek_time()
+                    if time is None:
+                        break
                     if until is not None and time > until:
                         self.now = until
                         break
                     if max_events is not None and executed >= max_events:
                         break
-                    pop(heap)
+                    time, fn = self._pop_next()  # type: ignore[misc]
                     self.now = time
                     fn()
                     executed += 1
@@ -110,11 +365,11 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("Simulator.step() is not re-entrant")
-        if not self._heap:
+        if not (self._count or self._over or self._solo_fn is not None):
             return False
         self._running = True
         try:
-            time, _, fn = heapq.heappop(self._heap)
+            time, fn = self._pop_next()  # type: ignore[misc]
             self.now = time
             fn()
             self.executed_total += 1

@@ -20,6 +20,8 @@ from .stats import SimStats
 class MemoryHierarchy:
     """Table II memory system for ``config.num_cores`` cores."""
 
+    __slots__ = ("config", "stats", "l1s", "l2", "dram", "directory", "_extra_hooks")
+
     def __init__(self, config: MachineConfig, stats: SimStats):
         self.config = config
         self.stats = stats

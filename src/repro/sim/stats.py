@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStats:
     """Aggregate counters for one simulation run."""
 

@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .machine import Machine
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One retired micro-op."""
 
@@ -82,6 +82,18 @@ class Tracer:
     replay.  ``dropped`` therefore counts *evicted-from-the-buffer*
     events, not filtered-out ones — filtered events appear in no counter.
     """
+
+    __slots__ = (
+        "machine",
+        "_buf",
+        "only_versioned",
+        "cores",
+        "addr_range",
+        "dropped",
+        "recorded",
+        "_op_counts",
+        "_hook",
+    )
 
     def __init__(
         self,

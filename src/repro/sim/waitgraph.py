@@ -37,7 +37,7 @@ _EXACT_OPS = frozenset({isa.LOAD_VERSION, isa.LOCK_LOAD_VERSION, isa.UNLOCK_VERS
 _LATEST_OPS = frozenset({isa.LOAD_LATEST, isa.LOCK_LOAD_LATEST})
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitEdge:
     """One blocked-core observation."""
 

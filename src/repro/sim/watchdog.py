@@ -42,6 +42,20 @@ if TYPE_CHECKING:  # pragma: no cover
 class Watchdog:
     """Progress monitor over one machine; armed when ``watchdog_cycles > 0``."""
 
+    __slots__ = (
+        "machine",
+        "cycle_budget",
+        "retry_limit",
+        "backoff_cycles",
+        "kick_limit",
+        "retries",
+        "gave_up",
+        "_last_retired",
+        "_kicks",
+        "_stopped",
+        "_tick_cb",
+    )
+
     def __init__(
         self,
         machine: "Machine",

@@ -57,6 +57,71 @@ def test_zero_delay_event_runs_after_earlier_same_cycle_events():
     assert order == ["first", "second", "zero-delay"]
 
 
+def test_schedule_at_now_runs_after_earlier_same_cycle_events():
+    """schedule_at(sim.now, ...) mid-callback joins the back of the cycle.
+
+    Same contract as schedule(0): a callback appending work to the current
+    cycle runs it after every event already queued for that cycle.
+    """
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule_at(sim.now, lambda: order.append("at-now"))
+
+    sim.schedule(3, first)
+    sim.schedule(3, lambda: order.append("second"))
+    sim.run()
+    assert order == ["first", "second", "at-now"]
+
+
+def test_same_cycle_order_mixes_schedule_and_schedule_at():
+    """Within one cycle, schedule() and schedule_at() interleave by call order."""
+    sim = Simulator()
+    order = []
+    sim.schedule(4, lambda: order.append("a"))
+    sim.schedule_at(4, lambda: order.append("b"))
+    sim.schedule(4, lambda: order.append("c"))
+    sim.schedule_at(4, lambda: order.append("d"))
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_same_cycle_order_survives_overflow_migration():
+    """Far-future events keep schedule order against near ones at the same time.
+
+    An event scheduled far ahead (overflow tier) must still run before a
+    later-scheduled event for the same cycle (wheel tier), and after an
+    earlier-scheduled one — migration between tiers cannot reorder a cycle.
+    """
+    sim = Simulator()
+    order = []
+    target = 1000  # far enough to start life in the overflow tier
+    sim.schedule_at(target, lambda: order.append("far-first"))
+    sim.schedule(target - 10, lambda: None)  # advances the clock near target
+
+    def near():
+        # Runs at target-10; both appends land on the already-migrated cycle.
+        sim.schedule(10, lambda: order.append("near-second"))
+        sim.schedule_at(target, lambda: order.append("near-third"))
+
+    sim.schedule(target - 10, near)
+    sim.run()
+    assert order == ["far-first", "near-second", "near-third"]
+
+
+def test_same_cycle_order_after_solo_demotion():
+    """A lone pending event keeps its place when a same-cycle event joins it."""
+    sim = Simulator()
+    order = []
+    sim.schedule(5, lambda: order.append("solo"))  # sole pending event
+    sim.schedule(5, lambda: order.append("joiner"))  # demotes it into the wheel
+    sim.schedule_at(5, lambda: order.append("third"))
+    sim.run()
+    assert order == ["solo", "joiner", "third"]
+
+
 def test_negative_delay_rejected():
     sim = Simulator()
     with pytest.raises(SimulationError):

@@ -1,0 +1,99 @@
+"""Golden-trace determinism: the timing-wheel kernel vs the heapq kernel.
+
+The simulator's contract is that events fire in exact ``(time, sequence)``
+order, so any kernel honouring it produces *byte-identical* results.  The
+fixture file ``tests/fixtures/golden_traces.json`` holds
+``RunResult.to_json()`` rows (cycles plus the full ``SimStats.snapshot()``)
+for a small basket of workloads, generated on the original heapq-of-tuples
+kernel **before** the timing-wheel rewrite landed.  These tests re-run the
+same specs on the current kernel and require the serialized rows to match
+character for character — any drift in event ordering (a wheel bucket
+firing out of sequence, an overflow event migrating late, a solo-event
+shortcut skipping a cycle) shows up as a cycle-count or stall-counter diff.
+
+The basket deliberately covers every kernel path:
+
+- a sequential (1-core) run — the solo-event fast path, where exactly one
+  event is ever pending;
+- 4- and 8-core versioned runs — wheel buckets with same-cycle batching,
+  waiter wake-ups, coherence traffic;
+- a regular (matmul) run — long compute delays that overflow the wheel
+  into the far-future heap tier.
+
+Regenerate (only when *workload semantics* legitimately change — never to
+paper over a kernel ordering bug)::
+
+    PYTHONPATH=src python tests/test_engine_equivalence.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import TABLE2
+from repro.harness.presets import QUICK
+from repro.harness.sweeps import execute, irregular_spec, regular_spec
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_traces.json"
+
+#: label -> RunSpec.  Labels are the fixture keys; keep them stable.
+GOLDEN_SPECS = {
+    "linked_list-large-4R1W-versioned-8c": irregular_spec(
+        "linked_list", TABLE2, QUICK, "large", "4R-1W", "versioned", 8
+    ),
+    "hash_table-small-1R1W-versioned-4c": irregular_spec(
+        "hash_table", TABLE2, QUICK, "small", "1R-1W", "versioned", 4
+    ),
+    "binary_tree-small-4R1W-unversioned-1c": irregular_spec(
+        "binary_tree", TABLE2, QUICK, "small", "4R-1W", "unversioned"
+    ),
+    "matmul-small-versioned-4c": regular_spec(
+        "matmul", TABLE2, QUICK, "small", "versioned", 4
+    ),
+}
+
+
+def _row(label: str) -> str:
+    """One canonical serialized result row for ``label``."""
+    return json.dumps(execute(GOLDEN_SPECS[label]).to_json(), sort_keys=True)
+
+
+def _fixture() -> dict[str, str]:
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN_SPECS))
+def test_kernel_reproduces_heapq_golden_trace(label):
+    golden = _fixture()
+    assert label in golden, (
+        f"fixture missing {label!r}; regenerate with "
+        f"PYTHONPATH=src python {Path(__file__).name} --regen"
+    )
+    assert _row(label) == golden[label], (
+        f"{label}: stats row diverged from the heapq-kernel golden trace "
+        f"— the event kernel is not order-preserving"
+    )
+
+
+def test_fixture_has_no_orphans():
+    """Every committed row corresponds to a spec still in the basket."""
+    assert set(_fixture()) == set(GOLDEN_SPECS)
+
+
+def _regen() -> None:
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    rows = {label: _row(label) for label in sorted(GOLDEN_SPECS)}
+    FIXTURE.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(rows)} golden rows to {FIXTURE}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

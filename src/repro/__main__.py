@@ -14,6 +14,8 @@ Usage::
     python -m repro fig6 --timeout 300     # kill+retry hung sweep workers
     python -m repro bench                  # record perf baselines
     python -m repro bench --compare        # fail on perf regression (CI)
+    python -m repro trace binary_tree --perfetto out.json --metrics m.json
+    python -m repro obs                    # metrics-on sweep summary table
 
 Sweeps fan out over a process pool (``--jobs`` / ``REPRO_JOBS``, default:
 all host cores) and memoise finished runs under ``.repro_cache/`` so a
@@ -61,6 +63,9 @@ EXPERIMENTS = {
     "gc": lambda scale, runner, config: experiments.gc_overhead(
         scale, config=config, runner=runner
     ),
+    "obs": lambda scale, runner, config: experiments.obs_summary(
+        scale, config=config, runner=runner
+    ),
 }
 
 
@@ -97,6 +102,14 @@ def _run_bench_target(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        # Dedicated subcommand with its own argument surface (workload
+        # positional + export paths); see repro.obs.cli.
+        from .obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the IPDPS 2018 O-structures evaluation.",

@@ -151,6 +151,13 @@ class MachineConfig:
     #: debugging/validation mode — simulated timing is unchanged, host
     #: time roughly doubles.
     checked: bool = False
+    #: Attach a :mod:`repro.obs` metrics registry to the machine:
+    #: distributional instruments (version-list walk length, compressed-
+    #: line occupancy, GC reclamation lag, lock-wait time, free-list
+    #: depth) sampled on the instrumented paths.  Off by default; the
+    #: disabled path is a single attribute check per site, so simulated
+    #: timing and (to within noise) host time are unchanged.
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         _require(self.num_cores > 0, "need at least one core")
@@ -229,6 +236,10 @@ class MachineConfig:
     def with_faults(self, *faults) -> "MachineConfig":
         """A copy carrying the given fault plan (see :mod:`repro.faults`)."""
         return replace(self, faults=tuple(faults))
+
+    def with_metrics(self, enabled: bool = True) -> "MachineConfig":
+        """A copy with the :mod:`repro.obs` metrics registry attached."""
+        return replace(self, metrics=enabled)
 
 
 #: The paper's experimental platform (Table II), 32 cores.

@@ -411,3 +411,69 @@ def gc_overhead(
             floatfmt="{:+.4f}",
         ),
     }
+
+
+# ---------------------------------------------------------------------------
+# Observability summary: metrics-enabled sweep over the irregular structures
+# ---------------------------------------------------------------------------
+
+
+def _hist_stats(snapshot: dict | None, name: str) -> tuple:
+    """(count, mean, max) of one histogram from a metrics snapshot."""
+    hist = ((snapshot or {}).get("histograms") or {}).get(name)
+    if not hist or not hist.get("count"):
+        return (0, 0.0, 0)
+    return (hist["count"], float(hist["mean"]), hist["max"])
+
+
+def obs_summary(
+    scale: Scale = QUICK,
+    config: MachineConfig = TABLE2,
+    runner: SweepRunner | None = None,
+) -> dict:
+    """Distributional metrics across the irregular structures.
+
+    Runs every irregular benchmark under both op mixes with the
+    :mod:`repro.obs` metrics registry enabled and a tight free list (the
+    ``gc`` experiment's pressure knobs, so the GC-lag histogram fills),
+    then tabulates the aggregated snapshots each
+    :class:`~repro.harness.runner.RunResult` row carries: version-list
+    walk length, compressed-line occupancy, GC reclamation lag and
+    lock-wait time.  The distributions are the paper's Section III
+    design arguments made measurable — e.g. compression keeps the
+    *typical* walk at zero blocks even when the tail is long.
+    """
+    cores = scale.max_cores
+    cfg = dataclasses.replace(
+        config, metrics=True, free_list_blocks=96, gc_watermark=64,
+        refill_blocks=256,
+    )
+    specs: list[RunSpec] = []
+    labels: list[tuple[str, str]] = []
+    for bench in IRREGULAR:
+        for mix in (READ_INTENSIVE, WRITE_INTENSIVE):
+            specs.append(irregular_spec(
+                bench, cfg, scale, "small", mix.name, "versioned", cores))
+            labels.append((bench, mix.name))
+
+    results = run_sweep(specs, runner)
+    rows = []
+    for (bench, mix), result in zip(labels, results):
+        walk_n, walk_mean, walk_max = _hist_stats(result.metrics, "walk_length")
+        _, occ_mean, _ = _hist_stats(result.metrics, "line_occupancy")
+        lag_n, lag_mean, _ = _hist_stats(result.metrics, "gc_lag")
+        wait_n, wait_mean, _ = _hist_stats(result.metrics, "lock_wait")
+        rows.append((
+            bench, mix, walk_n, walk_mean, walk_max, occ_mean,
+            lag_n, lag_mean, wait_n, wait_mean,
+        ))
+    return {
+        "rows": rows,
+        "text": format_table(
+            ("benchmark", "mix", "lookups", "walk mean", "walk max",
+             "line occ", "reclaims", "GC lag", "waits", "wait mean"),
+            rows,
+            title=f"Observability: metric distributions @ {cores} cores "
+                  f"[{scale.name}]",
+        ),
+    }

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..errors import ConfigError
 
 
 def format_table(
@@ -11,14 +13,28 @@ def format_table(
     title: str | None = None,
     floatfmt: str = "{:.2f}",
 ) -> str:
-    """Render a plain-text table with right-aligned numeric columns."""
+    """Render a plain-text table with right-aligned numeric columns.
+
+    Every row must have exactly one cell per header; a ragged row raises
+    :class:`~repro.errors.ConfigError` naming its index (experiment code
+    builds rows programmatically, and a silent ``IndexError`` from deep
+    inside the renderer pointed at the wrong place).
+    """
 
     def cell(x: Any) -> str:
         if isinstance(x, float):
             return floatfmt.format(x)
         return str(x)
 
-    str_rows = [[cell(x) for x in row] for row in rows]
+    str_rows = []
+    for idx, row in enumerate(rows):
+        cells = [cell(x) for x in row]
+        if len(cells) != len(headers):
+            raise ConfigError(
+                f"table row {idx} has {len(cells)} cell(s), expected "
+                f"{len(headers)} to match headers {list(headers)!r}"
+            )
+        str_rows.append(cells)
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, s in enumerate(row):
@@ -59,7 +75,11 @@ def format_bars(
     """Render labelled horizontal bars (the text rendition of a figure).
 
     ``reference`` draws a ``|`` at that value (e.g. speedup 1.0) so
-    above/below-baseline is visible at a glance.
+    above/below-baseline is visible at a glance.  Bar lengths are clamped
+    to ``[0, width]``: a non-positive value renders as an empty bar (kept
+    exactly ``width`` columns so alignment and the reference marker
+    survive), and a *negative* value is additionally flagged with ``!``
+    after its printed number.
     """
     rows = list(rows)
     if not rows:
@@ -74,9 +94,66 @@ def format_bars(
     ref_col = round(reference * scale) if reference is not None else -1
     lines = [title, "=" * len(title)]
     for label, value in rows:
-        n = round(value * scale)
+        n = max(0, min(width, round(value * scale)))
         bar = list(marker * n + " " * (width - n))
         if 0 <= ref_col < len(bar) and bar[ref_col] == " ":
             bar[ref_col] = "|"
-        lines.append(f"{label.rjust(label_w)}  {''.join(bar)} {value:.2f}")
+        flag = " !" if value < 0 else ""
+        lines.append(f"{label.rjust(label_w)}  {''.join(bar)} {value:.2f}{flag}")
     return "\n".join(lines)
+
+
+def format_metrics(
+    snapshot: Mapping[str, Any],
+    title: str = "metrics",
+    *,
+    width: int = 30,
+) -> str:
+    """Render a :meth:`repro.obs.MetricsRegistry.snapshot` dict.
+
+    Counters and gauges become one table each; every non-empty histogram
+    becomes a bucket-count bar chart (via :func:`format_bars`) plus a
+    count/mean/min/max summary line.
+    """
+    sections: list[str] = []
+    counters = snapshot.get("counters") or {}
+    if counters:
+        sections.append(
+            format_table(
+                ("counter", "value"),
+                [(name, value) for name, value in counters.items()],
+                title=f"{title}: counters",
+            )
+        )
+    gauges = {
+        name: g for name, g in (snapshot.get("gauges") or {}).items()
+        if g.get("samples")
+    }
+    if gauges:
+        sections.append(
+            format_table(
+                ("gauge", "last", "min", "max", "samples"),
+                [
+                    (name, g["last"], g["min"], g["max"], g["samples"])
+                    for name, g in gauges.items()
+                ],
+                title=f"{title}: gauges",
+            )
+        )
+    for name, h in (snapshot.get("histograms") or {}).items():
+        if not h.get("count"):
+            continue
+        bounds = h["bounds"]
+        labels = [f"<= {b:g}" for b in bounds] + [f"> {bounds[-1]:g}"]
+        bars = format_bars(
+            f"{title}: {name}",
+            list(zip(labels, [float(c) for c in h["counts"]])),
+            width=width,
+            reference=None,
+        )
+        summary = (
+            f"n={h['count']} mean={h['mean']:.2f} "
+            f"min={h['min']:g} max={h['max']:g}"
+        )
+        sections.append(f"{bars}\n{summary}")
+    return "\n\n".join(sections) if sections else f"{title}: (no samples)"

@@ -99,18 +99,33 @@ class RunResult:
 
     cycles: int
     stats: StatsView
+    #: Aggregated :mod:`repro.obs` metrics snapshot (plain dicts), when
+    #: the run's config enabled metrics; ``None`` otherwise.  Rides the
+    #: cache/pool JSON round-trip like ``stats`` does.
+    metrics: dict[str, Any] | None = None
 
     @classmethod
     def from_workload(cls, run: Any) -> "RunResult":
         """Build from a :class:`~repro.workloads.base.WorkloadRun`."""
-        return cls(cycles=run.cycles, stats=StatsView(run.stats.snapshot()))
+        return cls(
+            cycles=run.cycles,
+            stats=StatsView(run.stats.snapshot()),
+            metrics=getattr(run, "metrics", None),
+        )
 
     def to_json(self) -> dict[str, Any]:
-        return {"cycles": self.cycles, "stats": self.stats.as_dict()}
+        doc: dict[str, Any] = {"cycles": self.cycles, "stats": self.stats.as_dict()}
+        if self.metrics is not None:
+            doc["metrics"] = self.metrics
+        return doc
 
     @classmethod
     def from_json(cls, data: dict[str, Any]) -> "RunResult":
-        return cls(cycles=data["cycles"], stats=StatsView(data["stats"]))
+        return cls(
+            cycles=data["cycles"],
+            stats=StatsView(data["stats"]),
+            metrics=data.get("metrics"),
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,47 @@
+"""Observability: metrics, span recording, Perfetto export, critical path.
+
+Four pieces, composable and all optional:
+
+- :class:`MetricsRegistry` (:mod:`repro.obs.metrics`): counters, gauges
+  and fixed-bucket histograms for the distributional questions the
+  aggregate :class:`~repro.sim.stats.SimStats` cannot answer — version-
+  list walk length, compressed-line occupancy, GC reclamation lag,
+  lock-wait time, free-list depth.  Enable with
+  ``MachineConfig(metrics=True)`` (or :func:`attach_metrics` on a built
+  machine); disabled, every instrumented site is a single attribute
+  check.
+- :class:`SpanRecorder` (:mod:`repro.obs.recorder`): interval capture of
+  task executions, GC phases and watchdog recoveries, plus the version
+  produce→consume edges of the run.
+- :func:`chrome_trace` / :func:`write_chrome_trace`
+  (:mod:`repro.obs.perfetto`): the recorder as Chrome trace-event JSON,
+  loadable at ``ui.perfetto.dev``.
+- :func:`critical_path` (:mod:`repro.obs.critpath`): the longest
+  weighted dependency chain through the recorded task DAG.
+
+The ``python -m repro trace`` CLI (:mod:`repro.obs.cli`) drives all four
+against any workload.
+"""
+
+from .attach import attach_metrics
+from .critpath import critical_path, dependency_edges, format_critical_path
+from .metrics import Gauge, Histogram, MetricCounter, MetricsRegistry
+from .perfetto import chrome_trace, write_chrome_trace
+from .recorder import GcSpan, RecoveryEvent, SpanRecorder, TaskSpan
+
+__all__ = [
+    "attach_metrics",
+    "chrome_trace",
+    "critical_path",
+    "dependency_edges",
+    "format_critical_path",
+    "Gauge",
+    "GcSpan",
+    "Histogram",
+    "MetricCounter",
+    "MetricsRegistry",
+    "RecoveryEvent",
+    "SpanRecorder",
+    "TaskSpan",
+    "write_chrome_trace",
+]

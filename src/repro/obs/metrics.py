@@ -1,0 +1,224 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The paper's evaluation (Section IV) is entirely about *where cycles go*
+— direct vs. full lookups, version-list walk lengths, GC pressure, stall
+time — but aggregate :class:`~repro.sim.stats.SimStats` counters cannot
+answer distributional questions ("how long do version lists get?", "how
+stale is a shadowed block when it is finally reclaimed?").  This module
+provides the instruments; :mod:`repro.obs.attach` wires a registry into
+a machine.
+
+Design constraints:
+
+- **Disabled must be free.**  Instrumented hot paths (the manager's
+  lookup and allocation paths, the core's stall-resolution path) hold a
+  ``metrics`` attribute that is ``None`` by default; the entire disabled
+  path is one attribute load plus an ``is not None`` check, which is
+  what keeps the ``repro bench --compare`` perf gate green.
+- **Fixed buckets.**  Histograms never allocate per observation: bucket
+  bounds are chosen at construction and ``observe`` is a bisect plus an
+  increment.  Bounds are upper-inclusive; the last bucket is the
+  overflow bucket (``> bounds[-1]``).
+- **JSON-able snapshots.**  ``snapshot()`` returns plain dicts of plain
+  scalars so a metrics snapshot survives the sweep runner's result
+  cache and the process pool byte-identically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Sequence
+
+
+class MetricCounter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A sampled level: tracks last, min, max and sample count."""
+
+    __slots__ = ("name", "last", "min", "max", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.last: float | None = None
+        self.min: float | None = None
+        self.max: float | None = None
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.last = value
+        self.samples += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "last": self.last,
+            "min": self.min,
+            "max": self.max,
+            "samples": self.samples,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max sidecars.
+
+    ``bounds`` are ascending upper-inclusive bucket edges; an
+    observation lands in the first bucket whose bound is >= the value,
+    or in the final overflow bucket.  ``counts`` therefore has
+    ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        edges = tuple(bounds)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ValueError(f"histogram {name!r} needs strictly ascending bounds")
+        self.name = name
+        self.bounds = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile sample.
+
+        A bucketed estimate (exact values are not retained); the
+        overflow bucket reports the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                if i < len(self.bounds):
+                    return float(self.bounds[i])
+                return float(self.max if self.max is not None else self.bounds[-1])
+        return float(self.max if self.max is not None else self.bounds[-1])
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+#: Default bucket edges of the named instruments.  Walk lengths and line
+#: occupancy are small integers; the cycle-valued instruments use a
+#: coarse geometric ladder (distribution shape, not exact percentiles).
+WALK_LENGTH_BOUNDS = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 128)
+LINE_OCCUPANCY_BOUNDS = (1, 2, 3, 4, 5, 6, 7, 8)
+GC_LAG_BOUNDS = (64, 256, 1024, 4096, 16384, 65536, 262144, 1048576)
+LOCK_WAIT_BOUNDS = (4, 16, 64, 256, 1024, 4096, 16384, 65536)
+FREE_DEPTH_BOUNDS = (8, 32, 128, 512, 2048, 8192, 32768, 131072)
+
+
+class MetricsRegistry:
+    """All instruments of one machine, addressable by attribute or name.
+
+    The five named instruments of the paper's evaluation questions are
+    created eagerly so call sites can hold direct references:
+
+    ``walk_length``
+        Version blocks visited per full lookup (Section III-A's cost of
+        missing the compressed line).
+    ``line_occupancy``
+        Entries resident in a compressed line after each install (how
+        full the 8-slot lines of Figure 3 actually run).
+    ``gc_lag``
+        Cycles between a version becoming shadowed and its block being
+        reclaimed — the reclamation-lag distribution that bounded-
+        multiversion-GC work states its guarantees over.
+    ``lock_wait``
+        Cycles a core spent parked per resolved stall (version waits
+        and rwlock queue waits).
+    ``free_depth``
+        Free-list depth sampled at every version-block allocation.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, MetricCounter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self.walk_length = self.histogram("walk_length", WALK_LENGTH_BOUNDS)
+        self.line_occupancy = self.histogram(
+            "line_occupancy", LINE_OCCUPANCY_BOUNDS
+        )
+        self.gc_lag = self.histogram("gc_lag", GC_LAG_BOUNDS)
+        self.lock_wait = self.histogram("lock_wait", LOCK_WAIT_BOUNDS)
+        self.free_depth = self.histogram("free_depth", FREE_DEPTH_BOUNDS)
+        self.free_depth_gauge = self.gauge("free_depth")
+
+    # -- registration -----------------------------------------------------
+
+    def counter(self, name: str) -> MetricCounter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = MetricCounter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, bounds)
+        elif tuple(bounds) != h.bounds:
+            raise ValueError(f"histogram {name!r} re-registered with new bounds")
+        return h
+
+    # -- snapshots --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict, JSON-able copy of every instrument."""
+        return {
+            "counters": {n: c.snapshot() for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.snapshot() for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self._histograms.items())
+            },
+        }

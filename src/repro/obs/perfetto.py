@@ -1,0 +1,161 @@
+"""Chrome trace-event (Perfetto) JSON export of a recorded run.
+
+Emits the JSON-object flavour of the Chrome trace-event format —
+``{"traceEvents": [...]}`` — which ``ui.perfetto.dev`` and
+``chrome://tracing`` both load directly.  Mapping:
+
+- one process (pid 0) named for the run; one thread (tid) per core, plus
+  one synthetic track each for the garbage collector and the watchdog;
+- task executions and buffered micro-ops are complete events (``"X"``,
+  with ``ts``/``dur``); micro-ops nest inside their task's span because
+  an in-order core retires ops strictly within the task interval;
+- stalls, emergency collections and watchdog recoveries are instant
+  events (``"i"``);
+- **timestamps are simulated cycles presented as microseconds** (the
+  format's ``ts`` unit).  Durations read as "µs" in the UI are cycles;
+  only ratios matter for analysis, and cycles are the honest unit.
+
+The export is pure data transformation — build a machine with a
+:class:`~repro.obs.recorder.SpanRecorder`, run it, then call
+:func:`chrome_trace` (or :func:`write_chrome_trace`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .recorder import SpanRecorder
+
+#: pid of the single simulated process in the exported trace.
+PID = 0
+
+
+def _metadata(name: str, tid: int | None, value: str) -> dict[str, Any]:
+    ev: dict[str, Any] = {
+        "ph": "M",
+        "pid": PID,
+        "name": name,
+        "args": {"name": value},
+    }
+    if tid is not None:
+        ev["tid"] = tid
+    return ev
+
+
+def chrome_trace(recorder: "SpanRecorder") -> dict[str, Any]:
+    """The complete trace document as a JSON-able dict."""
+    machine = recorder.machine
+    num_cores = machine.config.num_cores
+    gc_tid = num_cores
+    watchdog_tid = num_cores + 1
+    events: list[dict[str, Any]] = [
+        _metadata("process_name", None, "repro-sim"),
+    ]
+    for core_id in range(num_cores):
+        events.append(_metadata("thread_name", core_id, f"core {core_id}"))
+    events.append(_metadata("thread_name", gc_tid, "gc"))
+    events.append(_metadata("thread_name", watchdog_tid, "watchdog"))
+
+    for span in recorder.task_spans:
+        end = span.end if span.end is not None else machine.sim.now
+        events.append(
+            {
+                "ph": "X",
+                "pid": PID,
+                "tid": span.core,
+                "ts": span.start,
+                "dur": end - span.start,
+                "name": f"task {span.task}",
+                "cat": "task",
+                "args": {"task": span.task, "outcome": span.outcome},
+            }
+        )
+
+    for ev in recorder.tracer.events():
+        if ev.stalled:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": PID,
+                    "tid": ev.core,
+                    "ts": ev.cycle,
+                    "s": "t",
+                    "name": f"stall {ev.op}",
+                    "cat": "stall",
+                    "args": {"task": ev.task, "addr": ev.addr},
+                }
+            )
+            continue
+        events.append(
+            {
+                "ph": "X",
+                "pid": PID,
+                "tid": ev.core,
+                "ts": ev.cycle,
+                "dur": ev.latency,
+                "name": ev.op,
+                "cat": "op",
+                "args": {"task": ev.task, "addr": ev.addr},
+            }
+        )
+
+    for span in recorder.gc_spans:
+        if span.kind == "emergency":
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": PID,
+                    "tid": gc_tid,
+                    "ts": span.start,
+                    "s": "t",
+                    "name": "emergency collect",
+                    "cat": "gc",
+                }
+            )
+            continue
+        end = span.end if span.end is not None else machine.sim.now
+        events.append(
+            {
+                "ph": "X",
+                "pid": PID,
+                "tid": gc_tid,
+                "ts": span.start,
+                "dur": end - span.start,
+                "name": "gc phase",
+                "cat": "gc",
+            }
+        )
+
+    for rec in recorder.recovery_events:
+        events.append(
+            {
+                "ph": "i",
+                "pid": PID,
+                "tid": watchdog_tid,
+                "ts": rec.cycle,
+                "s": "p",  # process-scoped: recoveries affect other tracks
+                "name": f"watchdog {rec.event}",
+                "cat": "recovery",
+                "args": rec.info,
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "timebase": "1 ts = 1 simulated cycle",
+            "cycles": machine.sim.now,
+            "cores": num_cores,
+        },
+    }
+
+
+def write_chrome_trace(recorder: "SpanRecorder", path: str | Path) -> Path:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    out = Path(path)
+    out.write_text(json.dumps(chrome_trace(recorder)))
+    return out

@@ -1,0 +1,253 @@
+"""Span recording over one machine: tasks, GC phases, recoveries, edges.
+
+The per-op :class:`~repro.sim.trace.Tracer` answers "what did core 3 do
+at cycle 12 000?"; a :class:`SpanRecorder` answers the *interval*
+questions a timeline viewer needs — when did task 17 run and on which
+core, how long was the GC phase that overlapped it, which waiter did the
+watchdog abort.  It attaches through the machine's hook points (all
+chainable, so it coexists with a user Tracer and the sanitizer):
+
+- a chained :class:`Tracer` buffers retired ops for the Perfetto export;
+- ``machine.task_hook`` delivers TASK-BEGIN / TASK-END / abort events,
+  which become :class:`TaskSpan` intervals per core;
+- ``gc.phase_hooks`` bracket collection phases (emergency collections
+  are instants);
+- ``machine.recovery_hook`` captures watchdog trips, aborts, kicks;
+- a lightweight edge hook (plus two wrapped manager methods, needed to
+  learn which version a LOAD-LATEST actually resolved to) records the
+  version produce→consume relation that
+  :mod:`repro.obs.critpath` turns into the critical path.
+
+``finish()`` closes any still-open spans (a deadlocked run leaves its
+victims open — exactly what the timeline should show) and ``detach()``
+restores every hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..ostruct import isa
+from ..sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.machine import Machine
+
+
+@dataclass(slots=True)
+class TaskSpan:
+    """One task execution interval on one core."""
+
+    task: int
+    core: int
+    start: int
+    end: int | None = None
+    #: "finished", "aborted", or "open" (never closed — deadlock victim).
+    outcome: str = "open"
+
+    @property
+    def duration(self) -> int:
+        return 0 if self.end is None else self.end - self.start
+
+
+@dataclass(slots=True)
+class GcSpan:
+    """One collection phase interval ("phase") or instant ("emergency")."""
+
+    kind: str
+    start: int
+    end: int | None = None
+
+
+@dataclass(slots=True)
+class RecoveryEvent:
+    """One watchdog observation (trip / abort / kick / gave_up)."""
+
+    cycle: int
+    event: str
+    info: dict
+
+
+class SpanRecorder:
+    """Records spans and dependency edges from one machine's run."""
+
+    def __init__(self, machine: "Machine", capacity: int = 1 << 18):
+        self.machine = machine
+        self.tracer = Tracer(machine, capacity=capacity)
+        self.task_spans: list[TaskSpan] = []
+        self.gc_spans: list[GcSpan] = []
+        self.recovery_events: list[RecoveryEvent] = []
+        #: (vaddr, version) -> (producer task id, cycle).
+        self.produces: dict[tuple[int, int], tuple[int | None, int]] = {}
+        #: (consumer task id, vaddr, version, cycle).
+        self.consumes: list[tuple[int, int, int, int]] = []
+        self._open_tasks: dict[int, TaskSpan] = {}  # core -> span
+        self._open_gc: GcSpan | None = None
+        self._detached = False
+
+        # Stable bound-method objects: attribute access creates a fresh
+        # bound method each time, so detach()'s identity checks need the
+        # exact objects that were attached.
+        self._task_hook = self._on_task
+        self._recovery_hook = self._on_recovery
+        machine.add_trace_hook(self._edge_hook)
+        if machine.task_hook is not None:
+            raise RuntimeError("machine already has a task hook attached")
+        machine.task_hook = self._task_hook
+        if machine.recovery_hook is not None:
+            raise RuntimeError("machine already has a recovery hook attached")
+        machine.recovery_hook = self._recovery_hook
+        machine.gc.phase_hooks.append(self._on_gc_phase)
+        # LOAD-LATEST ops name a cap, not a version; the consume edge
+        # needs the version the lookup resolved to, which only the
+        # manager's return value carries.  Wrap the two latest-family
+        # methods with instance attributes (the same monkeypatch idiom
+        # the sanitizer uses) and record the resolved version.
+        mgr = machine.manager
+        # Remember whether the methods were already instance attributes
+        # (e.g. sanitizer wrappers): detach() then restores the captured
+        # callables; otherwise it deletes our instance attributes so the
+        # plain class methods show through again.
+        self._mgr_had_instance_methods = "load_latest" in vars(mgr)
+        self._orig_load_latest = mgr.load_latest
+        self._orig_lock_load_latest = mgr.lock_load_latest
+
+        def load_latest(core_id: int, vaddr: int, cap: int):
+            out = self._orig_load_latest(core_id, vaddr, cap)
+            self._consume_resolved(core_id, vaddr, out[1][0])
+            return out
+
+        def lock_load_latest(core_id: int, vaddr: int, cap: int, task_id: int):
+            out = self._orig_lock_load_latest(core_id, vaddr, cap, task_id)
+            self._consume_resolved(core_id, vaddr, out[1][0])
+            return out
+
+        self._wrapped_load_latest = load_latest
+        self._wrapped_lock_load_latest = lock_load_latest
+        mgr.load_latest = load_latest
+        mgr.lock_load_latest = lock_load_latest
+
+    # -- hook bodies ----------------------------------------------------------
+
+    def _now(self) -> int:
+        return self.machine.sim.now
+
+    def _on_task(self, event: str, task_id: int, core_id: int) -> None:
+        if event == "begin":
+            stale = self._open_tasks.pop(core_id, None)
+            if stale is not None:  # defensive: never lose a span
+                stale.end = self._now()
+            span = TaskSpan(task=task_id, core=core_id, start=self._now())
+            self._open_tasks[core_id] = span
+            self.task_spans.append(span)
+            return
+        span = self._open_tasks.pop(core_id, None)
+        if span is None:
+            return
+        span.end = self._now()
+        span.outcome = "finished" if event == "end" else "aborted"
+
+    def _on_gc_phase(self, event: str) -> None:
+        if event == "start":
+            if self._open_gc is None:
+                self._open_gc = GcSpan(kind="phase", start=self._now())
+                self.gc_spans.append(self._open_gc)
+        elif event == "end":
+            if self._open_gc is not None:
+                self._open_gc.end = self._now()
+                self._open_gc = None
+        elif event == "emergency":
+            now = self._now()
+            self.gc_spans.append(GcSpan(kind="emergency", start=now, end=now))
+
+    def _on_recovery(self, event: str, info: dict) -> None:
+        self.recovery_events.append(RecoveryEvent(self._now(), event, dict(info)))
+
+    def _edge_hook(
+        self,
+        core: int,
+        task: int | None,
+        op_tuple: tuple,
+        latency: int,
+        stalled: bool,
+    ) -> None:
+        if stalled:
+            return
+        kind = op_tuple[0]
+        if kind == isa.STORE_VERSION:
+            self.produces[(op_tuple[1], op_tuple[2])] = (task, self._now())
+        elif kind == isa.UNLOCK_VERSION:
+            if op_tuple[3] is not None:  # renaming produces a new version
+                self.produces[(op_tuple[1], op_tuple[3])] = (task, self._now())
+        elif kind in (isa.LOAD_VERSION, isa.LOCK_LOAD_VERSION):
+            if task is not None:
+                self.consumes.append((task, op_tuple[1], op_tuple[2], self._now()))
+
+    def _consume_resolved(self, core_id: int, vaddr: int, version: int) -> None:
+        core = self.machine.cores[core_id]
+        if core.current is not None:
+            self.consumes.append(
+                (core.current.task_id, vaddr, version, self._now())
+            )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def finish(self) -> None:
+        """Close still-open spans at the current cycle (run over or hung)."""
+        now = self._now()
+        for span in self._open_tasks.values():
+            span.end = now
+        self._open_tasks.clear()
+        if self._open_gc is not None:
+            self._open_gc.end = now
+            self._open_gc = None
+
+    def detach(self) -> None:
+        """Restore every hook; safe to call once the run is over."""
+        if self._detached:
+            return
+        self._detached = True
+        self.finish()
+        self.tracer.detach()
+        self.machine.remove_trace_hook(self._edge_hook)
+        if self.machine.task_hook is self._task_hook:
+            self.machine.task_hook = None
+        if self.machine.recovery_hook is self._recovery_hook:
+            self.machine.recovery_hook = None
+        try:
+            self.machine.gc.phase_hooks.remove(self._on_gc_phase)
+        except ValueError:
+            pass
+        mgr = self.machine.manager
+        # Only restore if nothing wrapped the method after us (the
+        # sanitizer uses the same instance-attribute idiom).
+        if mgr.load_latest is self._wrapped_load_latest:
+            if self._mgr_had_instance_methods:
+                mgr.load_latest = self._orig_load_latest
+            else:
+                del mgr.load_latest
+        if mgr.lock_load_latest is self._wrapped_lock_load_latest:
+            if self._mgr_had_instance_methods:
+                mgr.lock_load_latest = self._orig_lock_load_latest
+            else:
+                del mgr.lock_load_latest
+
+    # -- summaries ------------------------------------------------------------
+
+    def task_cycles(self) -> dict[int, int]:
+        """Total recorded execution cycles per task id (spans summed)."""
+        totals: dict[int, int] = {}
+        for span in self.task_spans:
+            totals[span.task] = totals.get(span.task, 0) + span.duration
+        return totals
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "task_spans": len(self.task_spans),
+            "gc_spans": len(self.gc_spans),
+            "recovery_events": len(self.recovery_events),
+            "produce_edges": len(self.produces),
+            "consume_edges": len(self.consumes),
+            "trace": self.tracer.summary(),
+        }

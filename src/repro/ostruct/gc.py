@@ -73,7 +73,18 @@ class GarbageCollector:
         #: Callbacks ``fn(vaddr, version)`` fired when a version is
         #: reclaimed (the manager drops compressed-line entries).
         self.reclaim_hooks: list[Callable[[int, int], None]] = []
+        #: Callbacks ``fn(vaddr, version)`` fired when a version becomes
+        #: shadowed.  Pairing a shadow event with the matching reclaim
+        #: event gives the reclamation-lag distribution (repro.obs).
+        self.shadow_hooks: list[Callable[[int, int], None]] = []
+        #: Callbacks ``fn(event)`` observing phase boundaries; ``event``
+        #: is "start", "end" or "emergency" (repro.obs span recording).
+        self.phase_hooks: list[Callable[[str], None]] = []
         tracker.on_end.append(self._on_task_end)
+
+    def _fire_phase(self, event: str) -> None:
+        for hook in self.phase_hooks:
+            hook(event)
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -99,6 +110,9 @@ class GarbageCollector:
         block.shadowed_by = by
         self._shadowed.append((block, vlist))
         self.stats.shadowed_registered += 1
+        if self.shadow_hooks:
+            for hook in self.shadow_hooks:
+                hook(vlist.vaddr, block.version)
 
     def forget_block(self, block: VersionBlock) -> int:
         """Drop every queued entry for exactly this block; returns count.
@@ -157,6 +171,8 @@ class GarbageCollector:
             + [blk.shadowed_by for blk, _ in self._pending]
         )
         self.stats.gc_phases += 1
+        if self.phase_hooks:
+            self._fire_phase("start")
         self._try_finalize()
 
     def _on_task_end(self, task_id: int) -> None:
@@ -200,6 +216,8 @@ class GarbageCollector:
         if not self.enabled:
             return 0
         self.stats.emergency_gc_phases += 1
+        if self.phase_hooks:
+            self._fire_phase("emergency")
         live = sorted(self.tracker.live_ids)
         lowest = live[0] if live else None
         freed = 0
@@ -218,6 +236,8 @@ class GarbageCollector:
             queue[:] = kept
         if self._phase_active and not self._pending:
             self._phase_active = False
+            if self.phase_hooks:
+                self._fire_phase("end")
         return freed
 
     def _reachable(
@@ -281,3 +301,5 @@ class GarbageCollector:
             item[0].shadowed = True
             self._shadowed.append(item)
         self._phase_active = False
+        if self.phase_hooks:
+            self._fire_phase("end")

@@ -160,6 +160,11 @@ class OStructureManager:
         self.free_list = free_list
         self.gc = gc
         self.stats = stats
+        #: Metrics registry (repro.obs), or ``None``: every instrumented
+        #: path below gates on a single attribute check so the disabled
+        #: configuration adds no measurable work (the perf gate enforces
+        #: this).
+        self.metrics = None
         #: vaddr -> version list (the functional version store).
         self.lists: dict[int, VersionList] = {}
         #: Per-core compressed-line state: vaddr -> _DirectEntry.
@@ -249,6 +254,9 @@ class OStructureManager:
             self._memo_vaddr = vaddr
             self._memo_entry = entry
         entry.put(block)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.line_occupancy.observe(len(entry.line))
 
     def _direct_lookup(
         self, core_id: int, vaddr: int, version: int | None, cap: int | None
@@ -444,6 +452,9 @@ class OStructureManager:
             assert cap is not None
             block, visited = lst.find_latest(cap)
         self.stats.lookup_blocks_visited += visited
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.walk_length.observe(visited)
         lat += self._walk_cost(core_id, lst, visited, block)
         if block is not None:
             self._cache_version(core_id, vaddr, block)
@@ -505,6 +516,11 @@ class OStructureManager:
         queues are empty — reclamation provably cannot free anything —
         does :class:`FreeListExhausted` reach software.
         """
+        metrics = self.metrics
+        if metrics is not None:
+            depth = self.free_list.free_count
+            metrics.free_depth.observe(depth)
+            metrics.free_depth_gauge.set(depth)
         try:
             return self.free_list.allocate()
         except FreeListExhausted:

@@ -100,6 +100,7 @@ class SimRWLock:
         """Serve the queue front: one writer, or a batch of readers."""
         sim = self.machine.sim
         stats = self.machine.stats
+        metrics = self.machine.metrics
         if self._writer is not None:
             return
         if self._queue and self._queue[0][0] == "w":
@@ -109,6 +110,8 @@ class SimRWLock:
             self._writer = core_id
             stats.rwlock_write_acquires += 1
             stats.rwlock_wait_cycles += sim.now - enq_time
+            if metrics is not None:
+                metrics.lock_wait.observe(sim.now - enq_time)
             grant_lat = self._lock_word_access(core_id)
             sim.schedule(1, lambda cb=cb, lat=grant_lat: cb(lat))
             return
@@ -117,5 +120,7 @@ class SimRWLock:
             self._readers.add(core_id)
             stats.rwlock_read_acquires += 1
             stats.rwlock_wait_cycles += sim.now - enq_time
+            if metrics is not None:
+                metrics.lock_wait.observe(sim.now - enq_time)
             grant_lat = self._lock_word_access(core_id)
             sim.schedule(1, lambda cb=cb, lat=grant_lat: cb(lat))

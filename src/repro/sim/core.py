@@ -142,6 +142,9 @@ class Core:
         self._gen = task.make_generator()
         self.machine.tracker.begin(task.task_id)
         self.machine.stats.tasks_started += 1
+        hook = self.machine.task_hook
+        if hook is not None:
+            hook("begin", task.task_id, self.core_id)
         self._resume_value = None
         self._schedule_resume(TASK_BEGIN_CYCLES)
 
@@ -152,6 +155,9 @@ class Core:
         task.finished = True
         self.machine.tracker.end(task.task_id)
         self.machine.stats.tasks_finished += 1
+        hook = self.machine.task_hook
+        if hook is not None:
+            hook("end", task.task_id, self.core_id)
         self.current = None
         self._gen = None
         if self.queue:
@@ -210,6 +216,9 @@ class Core:
             # A previously stalled op finally succeeded.
             stall = self.sim.now - self._block_start
             self.machine.stats.versioned_stall_cycles += stall
+            metrics = self.machine.metrics
+            if metrics is not None:
+                metrics.lock_wait.observe(stall)
             if self._blocked_backpressure:
                 self.machine.stats.backpressure_stall_cycles += stall
                 self._blocked_backpressure = False
@@ -267,6 +276,9 @@ class Core:
             self._gen = None
         m.manager.abort_task(self.core_id, task.task_id)
         m.stats.tasks_retried += 1
+        hook = m.task_hook
+        if hook is not None:
+            hook("abort", task.task_id, self.core_id)
         self._restart_delay = delay
         self._resume_value = None
         if deferred:
@@ -280,6 +292,9 @@ class Core:
         task = self.current
         assert task is not None
         self._gen = task.make_generator()
+        hook = self.machine.task_hook
+        if hook is not None:
+            hook("begin", task.task_id, self.core_id)
         self._resume_value = None
         self._schedule_resume(self._restart_delay)
 

@@ -35,6 +35,21 @@ from .engine import Simulator
 from .hierarchy import MemoryHierarchy
 from .stats import SimStats
 
+#: Observers called with every newly built machine (see
+#: :func:`add_machine_observer`).  Workloads construct their machines
+#: internally, so tooling that must attach observability to *someone
+#: else's* machine — the ``repro trace`` CLI — registers here.
+_machine_observers: list[Callable[["Machine"], None]] = []
+
+
+def add_machine_observer(fn: Callable[["Machine"], None]) -> None:
+    """Call ``fn(machine)`` at the end of every ``Machine.__init__``."""
+    _machine_observers.append(fn)
+
+
+def remove_machine_observer(fn: Callable[["Machine"], None]) -> None:
+    _machine_observers.remove(fn)
+
 
 class Machine:
     """The full simulated platform of Table II plus O-structure support."""
@@ -87,7 +102,23 @@ class Machine:
         self.retired_ops = 0
         #: Optional ``fn(core, task, op_tuple, latency, stalled)`` called
         #: for every retired (or stalled) micro-op; see repro.sim.trace.
+        #: Always the *effective* hook the cores call: ``None``, the sole
+        #: registered hook, or a composed dispatcher over all of them.
+        #: Attach via :meth:`add_trace_hook` — multiple consumers (a
+        #: Tracer, the sanitizer, a span recorder) chain in order.
         self.trace_hook = None
+        self._trace_hooks: list = []
+        self._chained_trace_hook = None
+        #: Optional ``fn(event, task_id, core_id)`` observing the task
+        #: lifecycle; ``event`` is "begin", "end" or "abort" (repro.obs).
+        self.task_hook = None
+        #: Optional ``fn(event, info)`` observing watchdog recoveries;
+        #: ``event`` is "trip", "abort", "kick" or "gave_up" (repro.obs).
+        self.recovery_hook = None
+        #: Metrics registry (repro.obs), attached when ``config.metrics``
+        #: is set or via ``repro.obs.attach_metrics``.  ``None`` keeps
+        #: every instrumented path to a single attribute check.
+        self.metrics = None
         self._ran = False
         self._submitted = False
         #: Live deadlock watchdog, armed when ``watchdog_cycles > 0``.
@@ -118,6 +149,70 @@ class Machine:
             from ..check.sanitizer import Sanitizer
 
             self.sanitizer = Sanitizer(self, interval=check_interval)
+        if self.config.metrics:
+            # Imported here: repro.obs instruments the subsystems built
+            # above, and the sim layer must not depend on it statically.
+            from ..obs.attach import attach_metrics
+
+            attach_metrics(self)
+        for observe in _machine_observers:
+            observe(self)
+
+    # -- trace-hook chaining ------------------------------------------------------
+
+    def add_trace_hook(self, fn: Callable) -> None:
+        """Register a per-op trace hook; hooks are called in attach order.
+
+        Historically consumers assigned ``machine.trace_hook`` directly,
+        which meant a second consumer silently displaced the first.  The
+        hot path still reads the single ``trace_hook`` attribute (kept as
+        ``None`` / the sole hook / a composed dispatcher), so chaining
+        costs nothing when at most one consumer is attached.  A hook that
+        was assigned directly is absorbed into the chain rather than
+        displaced.  Attaching the same hook twice raises.
+        """
+        current = self.trace_hook
+        if (
+            current is not None
+            and current is not self._chained_trace_hook
+            and current not in self._trace_hooks
+        ):
+            # Absorb a hook installed by direct assignment (legacy API).
+            self._trace_hooks.append(current)
+        if fn in self._trace_hooks:
+            raise SimulationError("trace hook already attached")
+        self._trace_hooks.append(fn)
+        self._rebuild_trace_hook()
+
+    def remove_trace_hook(self, fn: Callable) -> bool:
+        """Unregister ``fn``; True if it was attached (in any order)."""
+        if fn in self._trace_hooks:
+            self._trace_hooks.remove(fn)
+            self._rebuild_trace_hook()
+            return True
+        if self.trace_hook is fn:
+            # Directly assigned, never registered: clear it.
+            self.trace_hook = None
+            return True
+        return False
+
+    def _rebuild_trace_hook(self) -> None:
+        hooks = self._trace_hooks
+        if not hooks:
+            self._chained_trace_hook = None
+            self.trace_hook = None
+        elif len(hooks) == 1:
+            self._chained_trace_hook = None
+            self.trace_hook = hooks[0]
+        else:
+            chain = tuple(hooks)
+
+            def chained(core, task, op_tuple, latency, stalled, _chain=chain):
+                for hook in _chain:
+                    hook(core, task, op_tuple, latency, stalled)
+
+            self._chained_trace_hook = chained
+            self.trace_hook = chained
 
     # -- convenience constructors ------------------------------------------------
 

@@ -113,7 +113,7 @@ class Tracer:
         self.recorded = 0
         self._op_counts: Counter[str] = Counter()
         self._hook = self._record  # stable bound-method object for detach()
-        machine.trace_hook = self._hook
+        machine.add_trace_hook(self._hook)
 
     # -- filtering ------------------------------------------------------------
 
@@ -200,6 +200,5 @@ class Tracer:
         }
 
     def detach(self) -> None:
-        """Stop recording."""
-        if self.machine.trace_hook is self._hook:
-            self.machine.trace_hook = None
+        """Stop recording.  Idempotent; other attached hooks keep running."""
+        self.machine.remove_trace_hook(self._hook)

@@ -106,6 +106,9 @@ class Watchdog:
                 m.sim.schedule(self.cycle_budget, self._tick_cb)
             return
         m.stats.watchdog_trips += 1
+        hook = m.recovery_hook
+        if hook is not None:
+            hook("trip", {"blocked_cores": [c.core_id for c in blocked]})
         acted = self._recover(blocked)
         if acted or m.sim.pending_events:
             m.sim.schedule(self.cycle_budget, self._tick_cb)
@@ -134,14 +137,26 @@ class Watchdog:
                     attempt = self.retries.get(tid, 0) + 1
                     if attempt > self.retry_limit:
                         self.gave_up = True
+                        self._fire("gave_up", {"task": tid, "attempt": attempt})
                         return False
                     self.retries[tid] = attempt
                     delay = self.backoff_cycles * (1 << (attempt - 1))
                     core.abort_and_retry(delay)
+                    self._fire(
+                        "abort",
+                        {
+                            "task": tid,
+                            "core": core.core_id,
+                            "attempt": attempt,
+                            "delay": delay,
+                            "cycle_tasks": sorted(cycle),
+                        },
+                    )
                     return True
             # A cycle exists but no member is abortable (e.g. all parked
             # in rwlock queues): recovery cannot help.
             self.gave_up = True
+            self._fire("gave_up", {"cycles": [sorted(c) for c in cycles]})
             return False
         # No lock cycle: the hang may be a lost wake-up (injected or
         # otherwise).  Re-notify every waiter queue, bounded so a truly
@@ -151,5 +166,11 @@ class Watchdog:
             if kicked:
                 self._kicks += 1
                 m.stats.watchdog_kicks += 1
+                self._fire("kick", {"woken": kicked})
                 return True
         return False
+
+    def _fire(self, event: str, info: dict) -> None:
+        hook = self.machine.recovery_hook
+        if hook is not None:
+            hook(event, info)

@@ -50,6 +50,9 @@ class WorkloadRun:
     stats: SimStats
     results: list = field(default_factory=list)
     final_state: Any = None
+    #: :meth:`repro.obs.MetricsRegistry.snapshot` of the run, when the
+    #: machine was built with ``config.metrics`` enabled; else ``None``.
+    metrics: dict | None = None
 
     @property
     def seconds(self) -> float:
@@ -81,6 +84,7 @@ def run_variant(
         stats=stats,
         results=results,
         final_state=final,
+        metrics=machine.metrics.snapshot() if machine.metrics is not None else None,
     )
 
 

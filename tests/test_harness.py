@@ -184,3 +184,131 @@ class TestBars:
 
         text = format_bars("T", [("a", 3.0)], reference=None, width=10)
         assert "|" not in text
+
+
+class TestBarsEdgeCases:
+    """Regression tests: non-positive values must not break the layout."""
+
+    def test_zero_value_renders_empty_bar(self):
+        from repro.harness.report import format_bars
+
+        text = format_bars("T", [("zero", 0.0), ("one", 1.0)], width=10)
+        zero_line = text.splitlines()[2]
+        assert zero_line.count("#") == 0
+        assert "0.00" in zero_line
+        assert "!" not in zero_line  # zero is fine, only negatives flag
+
+    def test_negative_value_clamped_and_flagged(self):
+        from repro.harness.report import format_bars
+
+        text = format_bars("T", [("bad", -0.5), ("good", 2.0)], width=10)
+        lines = text.splitlines()
+        bad, good = lines[2], lines[3]
+        assert bad.count("#") == 0  # clamped, not wider than width
+        assert bad.rstrip().endswith("!")
+        assert "-0.50" in bad
+        assert not good.rstrip().endswith("!")
+        # Every bar field is exactly ``width`` columns: the value column
+        # starts at the same offset on each line.
+        assert bad.index("-0.50") == good.index("2.00")
+
+    def test_all_zero_rows(self):
+        from repro.harness.report import format_bars
+
+        text = format_bars("T", [("a", 0.0), ("b", 0.0)], width=8)
+        for line in text.splitlines()[2:]:
+            assert line.count("#") == 0
+            assert "0.00" in line
+
+    def test_all_negative_rows(self):
+        from repro.harness.report import format_bars
+
+        text = format_bars("T", [("a", -1.0), ("b", -2.0)], width=8)
+        for line in text.splitlines()[2:]:
+            assert line.count("#") == 0
+            assert line.rstrip().endswith("!")
+
+
+class TestTableValidation:
+    """Regression tests: ragged rows raise ConfigError, not IndexError."""
+
+    def test_ragged_row_raises_config_error_with_index(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="row 1"):
+            format_table(("a", "b"), [(1, 2), (1,), (3, 4)])
+
+    def test_extra_cells_also_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="3 cell"):
+            format_table(("a", "b"), [(1, 2, 3)])
+
+    def test_well_formed_rows_unaffected(self):
+        text = format_table(("a", "b"), [(1, 2), (3, 4)])
+        assert "1" in text and "4" in text
+
+
+class TestFormatMetrics:
+    def _snapshot(self):
+        from repro.obs import MetricsRegistry
+
+        r = MetricsRegistry()
+        r.counter("gc_reclaims").inc(3)
+        r.gauge("free_depth").set(42)
+        for v in (1, 1, 2, 9999):
+            r.walk_length.observe(v)
+        return r.snapshot()
+
+    def test_renders_counters_gauges_and_histograms(self):
+        from repro.harness.report import format_metrics
+
+        text = format_metrics(self._snapshot(), title="t")
+        assert "gc_reclaims" in text
+        assert "free_depth" in text
+        assert "walk_length" in text
+        assert "n=4" in text
+        assert "> 128" in text  # overflow bucket labelled
+
+    def test_empty_snapshot(self):
+        from repro.harness.report import format_metrics
+
+        assert "(no samples)" in format_metrics({}, title="t")
+        # Histograms with zero observations are skipped, not rendered.
+        from repro.obs import MetricsRegistry
+
+        text = format_metrics(MetricsRegistry().snapshot(), title="t")
+        assert "walk_length" not in text
+
+
+class TestObsSummaryExperiment:
+    def test_obs_summary_rows(self):
+        from repro.harness.experiments import obs_summary
+        from repro.harness.runner import SweepRunner
+
+        runner = SweepRunner(jobs=1, use_cache=False)
+        out = obs_summary(TINY, runner=runner)
+        assert len(out["rows"]) == len(IRREGULAR) * 2
+        benches = {row[0] for row in out["rows"]}
+        assert benches == set(IRREGULAR)
+        # Metrics snapshots made it through the RunResult rows: at least
+        # one bench recorded full lookups.
+        assert any(row[2] > 0 for row in out["rows"])
+        assert "walk mean" in out["text"]
+
+
+class TestRunResultMetricsRoundTrip:
+    def test_metrics_survive_json(self):
+        from repro.harness.runner import RunResult, StatsView
+
+        snap = {"counters": {"c": 1}, "gauges": {}, "histograms": {}}
+        r = RunResult(cycles=10, stats=StatsView({"cycles": 10}), metrics=snap)
+        again = RunResult.from_json(r.to_json())
+        assert again.metrics == snap
+        assert again.cycles == 10
+
+    def test_metrics_default_none(self):
+        from repro.harness.runner import RunResult, StatsView
+
+        r = RunResult(cycles=10, stats=StatsView({"cycles": 10}))
+        assert RunResult.from_json(r.to_json()).metrics is None

@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro trace`` CLI (repro.obs.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.errors import ConfigError
+from repro.obs.cli import _parse_fault, build_parser, main as trace_main
+from repro.sim.machine import _machine_observers
+
+
+def test_acceptance_command(tmp_path, capsys):
+    """The issue's acceptance command, at quick scale."""
+    trace = tmp_path / "out.json"
+    metrics = tmp_path / "m.json"
+    rc = repro_main([
+        "trace", "binary_tree",
+        "--perfetto", str(trace), "--metrics", str(metrics),
+    ])
+    assert rc == 0
+    assert _machine_observers == []  # observer removed after the run
+
+    doc = json.loads(trace.read_text())
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events
+    phases = {ev["ph"] for ev in events}
+    assert {"X", "M"} <= phases
+    cats = {ev.get("cat") for ev in events}
+    assert "task" in cats and "gc" in cats and "op" in cats
+    # The recovery track exists even when no recovery fired.
+    names = {
+        ev["args"]["name"] for ev in events
+        if ev["ph"] == "M" and ev["name"] == "thread_name"
+    }
+    assert "watchdog" in names and "gc" in names
+
+    snap = json.loads(metrics.read_text())
+    assert snap["histograms"]["walk_length"]["count"] > 0
+    assert snap["histograms"]["gc_lag"]["count"] > 0
+
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    assert "walk_length" in out
+
+
+def test_regular_workload_and_stdout_only(capsys):
+    rc = trace_main(["matmul", "--cores", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "matmul @ 4 cores" in out
+    assert "task_spans=" in out
+
+
+def test_recovery_track_populated_by_fault_run(tmp_path):
+    trace = tmp_path / "fault.json"
+    rc = trace_main([
+        "linked_list", "--cores", "4", "--ops", "60", "--mix", "1R-1W",
+        "--watchdog", "2000", "--fault", "drop-wake:1:2",
+        "--perfetto", str(trace),
+    ])
+    assert rc == 0
+    doc = json.loads(trace.read_text())
+    recoveries = [
+        ev for ev in doc["traceEvents"] if ev.get("cat") == "recovery"
+    ]
+    assert recoveries, "watchdog recovery instants missing from the trace"
+    assert any("kick" in ev["name"] for ev in recoveries)
+
+
+def test_parse_fault():
+    spec = _parse_fault("drop-wake:3:2:40:2")
+    assert (spec.kind, spec.at, spec.span, spec.value, spec.arg) == (
+        "drop-wake", 3, 2, 40, 2
+    )
+    assert _parse_fault("pause-gc").at == 1
+    with pytest.raises(ConfigError):
+        _parse_fault("drop-wake:x")
+    with pytest.raises(ConfigError):
+        _parse_fault("drop-wake:1:2:3:4:5")
+    with pytest.raises(ConfigError):
+        _parse_fault("no-such-kind:1")
+
+
+def test_unknown_workload_rejected(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["no_such_workload"])

@@ -177,3 +177,162 @@ def test_accounting_invariant_holds_under_eviction_and_filters():
     assert s["dropped"] == 2
     assert s["recorded"] == s["buffered"] + s["dropped"]
     assert len(tracer) == s["buffered"]
+
+
+# ---------------------------------------------------------------------------
+# Trace-hook chaining (multiple consumers on one machine).
+# ---------------------------------------------------------------------------
+
+
+class TestHookChaining:
+    def test_two_tracers_both_record(self):
+        m, cell, conv = simple_machine()
+        first = Tracer(m)
+        second = Tracer(m, only_versioned=True)
+
+        def prog(tid):
+            yield isa.store(conv, 1)
+            yield cell.store_ver(0, 2)
+
+        m.submit([Task(0, prog)])
+        m.run()
+        assert [e.op for e in first.events()] == ["store", "store_version"]
+        assert [e.op for e in second.events()] == ["store_version"]
+
+    def test_detach_in_either_order_leaves_machine_clean(self):
+        for order in ((0, 1), (1, 0)):
+            m, cell, conv = simple_machine()
+            tracers = [Tracer(m), Tracer(m)]
+            tracers[order[0]].detach()
+            # The survivor is the sole hook again (no dispatcher shell).
+            survivor = tracers[order[1]]
+            assert m.trace_hook is survivor._hook
+            survivor.detach()
+            assert m.trace_hook is None
+
+    def test_survivor_still_records_after_peer_detach(self):
+        m, cell, conv = simple_machine()
+        first = Tracer(m)
+        second = Tracer(m)
+        first.detach()
+
+        def prog(tid):
+            yield isa.compute(2)
+
+        m.submit([Task(0, prog)])
+        m.run()
+        assert len(first) == 0
+        assert len(second) == 1
+
+    def test_double_attach_raises(self):
+        import pytest
+
+        from repro.errors import SimulationError
+
+        m, cell, conv = simple_machine()
+        tracer = Tracer(m)
+        with pytest.raises(SimulationError):
+            m.add_trace_hook(tracer._hook)
+        # The failed attach did not corrupt the chain.
+        assert m.trace_hook is tracer._hook
+
+    def test_legacy_direct_assignment_is_absorbed(self):
+        m, cell, conv = simple_machine()
+        seen = []
+
+        def legacy(core, task, op_tuple, latency, stalled):
+            seen.append(op_tuple[0])
+
+        m.trace_hook = legacy  # old API: direct assignment
+        tracer = Tracer(m)  # must chain, not displace
+
+        def prog(tid):
+            yield isa.compute(2)
+
+        m.submit([Task(0, prog)])
+        m.run()
+        assert seen == ["compute"]
+        assert len(tracer) == 1
+        assert m.remove_trace_hook(legacy)
+        tracer.detach()
+        assert m.trace_hook is None
+
+    def test_remove_directly_assigned_hook_without_chain(self):
+        m, cell, conv = simple_machine()
+
+        def legacy(core, task, op_tuple, latency, stalled):
+            pass
+
+        m.trace_hook = legacy
+        assert m.remove_trace_hook(legacy)
+        assert m.trace_hook is None
+        assert not m.remove_trace_hook(legacy)  # already gone
+
+
+# ---------------------------------------------------------------------------
+# Property: recorded == buffered + dropped, always.
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    only_versioned=st.booleans(),
+    cores=st.sampled_from([None, {0}, {1}, {0, 1}]),
+    use_addr_range=st.booleans(),
+    n_ops=st.integers(min_value=0, max_value=12),
+    detach_after=st.integers(min_value=0, max_value=14),
+)
+@settings(max_examples=60, deadline=None)
+def test_accounting_invariant_property(
+    capacity, only_versioned, cores, use_addr_range, n_ops, detach_after
+):
+    """recorded == buffered + dropped under every filter combination,
+    eviction pressure, and a mid-run detach()."""
+    m, cell, conv = simple_machine()
+    addr_range = (cell.addr, cell.addr + 4) if use_addr_range else None
+    tracer = Tracer(
+        m, capacity=capacity, only_versioned=only_versioned,
+        cores=cores, addr_range=addr_range,
+    )
+    fired = 0
+
+    def checking_hook(core, task, op_tuple, latency, stalled):
+        nonlocal fired
+        fired += 1
+        # Invariant holds after every single event, not just at the end.
+        assert tracer.recorded == len(tracer) + tracer.dropped
+        if fired == detach_after:
+            tracer.detach()
+
+    m.add_trace_hook(checking_hook)
+
+    def prog(tid):
+        for i in range(n_ops):
+            which = i % 3
+            if which == 0:
+                yield isa.compute(1)
+            elif which == 1:
+                yield isa.store(conv, i)
+            else:
+                yield cell.store_ver(tid * 100 + i, i)
+
+    tasks = [Task(0, prog), Task(1, prog)]
+    m.submit(tasks)
+    if n_ops:
+        m.run()
+    s = tracer.summary()
+    assert s["recorded"] == s["buffered"] + s["dropped"]
+    assert s["buffered"] == len(tracer)
+    assert s["buffered"] <= capacity
+    if cores is not None:
+        assert all(e.core in cores for e in tracer.events())
+    if only_versioned:
+        assert all(e.op in isa.VERSIONED_OPS for e in tracer.events())
+    if addr_range is not None:
+        assert all(
+            e.addr is not None and addr_range[0] <= e.addr < addr_range[1]
+            for e in tracer.events()
+        )

@@ -16,6 +16,8 @@ Usage::
     python -m repro bench --compare        # fail on perf regression (CI)
     python -m repro trace binary_tree --perfetto out.json --metrics m.json
     python -m repro obs                    # metrics-on sweep summary table
+    python -m repro recover rb_tree --crash-at 1000   # crash + replay demo
+    python -m repro fig6 --checkpoint-every 256       # killable mid-row
 
 Sweeps fan out over a process pool (``--jobs`` / ``REPRO_JOBS``, default:
 all host cores) and memoise finished runs under ``.repro_cache/`` so a
@@ -110,6 +112,11 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "recover":
+        # Crash-and-recover demonstration; see repro.recovery.cli.
+        from .recovery.cli import main as recover_main
+
+        return recover_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the IPDPS 2018 O-structures evaluation.",
@@ -163,6 +170,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="DIR",
         help="result cache location (default: REPRO_CACHE_DIR or .repro_cache/)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="OPS",
+        help=(
+            "checkpoint each in-flight simulation every N versioned ops "
+            "so --resume survives kill -9 mid-row (default: "
+            "REPRO_CKPT_EVERY or off; images under REPRO_CKPT_DIR)"
+        ),
     )
     parser.add_argument(
         "--check",
@@ -234,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir=args.cache_dir,
             timeout=args.timeout,
             resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
         )
     except ConfigError as exc:
         parser.error(str(exc))

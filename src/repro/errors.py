@@ -88,6 +88,33 @@ class AllocationError(SimulationError):
     """The simulated heap cannot satisfy an allocation request."""
 
 
+class MachineCrash(SimulationError):
+    """An injected ``crash-machine`` fault killed the simulation.
+
+    Models the process dying mid-run (the software analogue of a power
+    failure): the machine is unusable afterwards and the only way
+    forward is :class:`repro.recovery.RecoveryPolicy` — restore the
+    latest epoch checkpoint and replay.  Carries the versioned-op
+    ordinal at which the crash fired so recovery can report how much
+    work was at risk.
+    """
+
+    def __init__(self, message: str, *, op_index: int = 0):
+        self.op_index = op_index
+        super().__init__(message)
+
+
+class CheckpointError(ReproError):
+    """A checkpoint image is unreadable, corrupt, or replay diverged.
+
+    Raised when an image fails its magic/CRC validation (e.g. the
+    ``corrupt-block`` fault flipped a byte) and by the
+    :class:`repro.recovery.Checkpointer` in verify mode when a replayed
+    run's state digest does not match the recorded image — the loud
+    failure that protects the byte-identical-restore guarantee.
+    """
+
+
 class SweepFailure(ReproError):
     """A sweep RunSpec kept failing after every retry.
 

@@ -5,7 +5,9 @@ live machine by wrapping two manager chokepoints:
 
 - ``manager._extra`` — called exactly once per completed versioned
   operation — provides the *op ordinal* used to trigger op-indexed
-  faults (``starve-free-list``, ``pause-gc``, ``abort-task``);
+  faults (``starve-free-list``, ``pause-gc``, ``abort-task``, and the
+  environment faults ``crash-machine`` / ``corrupt-block``, which kill
+  the run or damage its newest checkpoint image; see repro.recovery);
 - ``manager._notify`` — the waiter wake-up path — provides the *notify
   ordinal* used by the wake faults (``drop-wake`` swallows the
   notification, ``delay-wake`` postpones delivery).  Notifications with
@@ -33,7 +35,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.machine import Machine
 
 #: Fault kinds triggered by the versioned-op ordinal.
-_OP_KINDS = frozenset({"starve-free-list", "pause-gc", "abort-task"})
+_OP_KINDS = frozenset(
+    {"starve-free-list", "pause-gc", "abort-task", "crash-machine", "corrupt-block"}
+)
 #: Fault kinds triggered by the waiter-notification ordinal.
 _WAKE_KINDS = frozenset({"drop-wake", "delay-wake"})
 
@@ -110,6 +114,14 @@ class FaultInjector:
             # _extra runs mid-dispatch: the victim core may be the one
             # executing right now, so defer the abort to a fresh event.
             m.sim.schedule(0, lambda spec=f: self._abort(spec))
+        elif f.kind == "crash-machine":
+            # Deferred like the abort so the op in flight completes; the
+            # raise then propagates cleanly out of ``sim.run()``.
+            m.sim.schedule(
+                0, lambda spec=f, idx=self.op_index: self._crash(spec, idx)
+            )
+        elif f.kind == "corrupt-block":
+            self._corrupt(f)
 
     def _resume_gc(self) -> None:
         m = self.machine
@@ -131,6 +143,40 @@ class FaultInjector:
                 self.skipped.append(f)
             return
         self.skipped.append(f)
+
+    def _crash(self, f: FaultSpec, op_index: int) -> None:
+        from ..errors import MachineCrash
+
+        # Environment fault: recorded in ``fired`` but *not* in
+        # ``stats.faults_injected`` — the crash kills the run from
+        # outside the machine, and the recovered re-run (whose config no
+        # longer carries the already-fired crash) must end with stats
+        # byte-identical to an uninterrupted run.
+        self.fired.append(f)
+        raise MachineCrash(
+            f"injected crash-machine fault at versioned op {op_index} "
+            f"(cycle {self.machine.sim.now})",
+            op_index=op_index,
+        )
+
+    def _corrupt(self, f: FaultSpec) -> None:
+        # Damage the newest checkpoint image on disk (environment fault,
+        # same stats rule as _crash: no faults_injected bump).  Recovery
+        # must then fall back to the previous valid image — which is the
+        # behaviour the CRC guard exists to enable.
+        ckpt = getattr(self.machine, "checkpointer", None)
+        if ckpt is None:
+            self.skipped.append(f)
+            return
+        images = sorted(ckpt.directory.glob("ckpt-*.img"))
+        if not images:
+            self.skipped.append(f)
+            return
+        target = images[-1]
+        raw = bytearray(target.read_bytes())
+        raw[f.value % len(raw)] ^= 0xFF
+        target.write_bytes(bytes(raw))
+        self.fired.append(f)
 
     def _record(self, f: FaultSpec) -> None:
         self.fired.append(f)

@@ -33,6 +33,8 @@ KINDS = frozenset(
         "delay-wake",
         "pause-gc",
         "abort-task",
+        "crash-machine",
+        "corrupt-block",
     }
 )
 
@@ -41,6 +43,10 @@ KINDS = frozenset(
 #: excluded — replaying a task is only safe when its body is idempotent
 #: (pure generator state), which some workloads' host-side allocators
 #: are not; the abort path gets dedicated deterministic tests instead.
+#: The environment faults (``crash-machine``, ``corrupt-block``) are
+#: also excluded: they kill or damage the run from *outside* the
+#: simulated machine, and recovery happens at the
+#: :class:`repro.recovery.RecoveryPolicy` tier, not inside the run.
 TRANSPARENT_KINDS = ("starve-free-list", "drop-wake", "delay-wake", "pause-gc")
 
 
@@ -52,14 +58,17 @@ class FaultSpec:
         One of :data:`KINDS`.
     ``at``
         Trigger ordinal (1-based): versioned-op index for
-        ``starve-free-list`` / ``pause-gc`` / ``abort-task``, waiter
-        notification index for the wake faults.
+        ``starve-free-list`` / ``pause-gc`` / ``abort-task`` /
+        ``crash-machine`` / ``corrupt-block``, waiter notification
+        index for the wake faults.
     ``span``
         How many consecutive notifications a wake fault covers.
     ``value``
         Kind-specific magnitude: the refill budget that *remains* after
         a starvation fault, the GC pause length in cycles, the wake
-        delivery delay in cycles, the abort restart delay in cycles.
+        delivery delay in cycles, the abort restart delay in cycles,
+        or the byte offset (mod image size) a ``corrupt-block`` fault
+        flips in the latest checkpoint image.
     ``arg``
         Kind-specific operand: free blocks left after a starvation
         drain, or the task id an ``abort-task`` fault targets.

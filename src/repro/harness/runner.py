@@ -42,9 +42,13 @@ from pathlib import Path
 from typing import Any, Iterator, Sequence
 
 from ..errors import ConfigError, SweepFailure
+from ..recovery.checkpoint import atomic_write_bytes
 
 #: Default cache directory (under the current working directory).
 CACHE_DIR_NAME = ".repro_cache"
+
+#: Default checkpoint-image directory for ``checkpoint_every`` sweeps.
+CKPT_DIR_NAME = ".repro_ckpt"
 
 
 # ---------------------------------------------------------------------------
@@ -180,19 +184,12 @@ class ResultCache:
             return None
 
     def store(self, spec: RunSpec, result: RunResult) -> None:
-        path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"spec": repr(spec), **result.to_json()}
-        # Write-then-rename so concurrent sweeps (and interrupted ones)
-        # never see partial files: an aborted write leaves at most a
-        # ``*.tmp`` straggler, never a truncated ``.json``.
-        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
-        try:
-            tmp.write_text(json.dumps(payload))
-            os.replace(tmp, path)
-        except BaseException:
-            tmp.unlink(missing_ok=True)
-            raise
+        # Write-flush-fsync-rename (shared with the checkpoint images) so
+        # concurrent sweeps and ``kill -9``-ed ones never see partial
+        # files: an aborted write leaves at most a ``*.tmp`` straggler,
+        # never a truncated ``.json``.
+        atomic_write_bytes(self.path_for(spec), json.dumps(payload).encode())
 
     def clean_stale_tmp(self) -> int:
         """Remove ``*.tmp`` stragglers from interrupted stores; count removed."""
@@ -287,6 +284,25 @@ def _timeout_from_env() -> float | None:
     return timeout
 
 
+def _ckpt_every_from_env() -> int | None:
+    raw = os.environ.get("REPRO_CKPT_EVERY")
+    if not raw:
+        return None
+    try:
+        every = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_CKPT_EVERY must be an integer, got {raw!r}"
+        ) from None
+    if every < 1:
+        raise ConfigError("REPRO_CKPT_EVERY must be >= 1")
+    return every
+
+
+def _ckpt_dir_from_env() -> str:
+    return os.environ.get("REPRO_CKPT_DIR") or CKPT_DIR_NAME
+
+
 def _retries_from_env() -> int:
     raw = os.environ.get("REPRO_RUN_RETRIES")
     if not raw:
@@ -323,6 +339,48 @@ def execute_spec(spec: RunSpec) -> RunResult:
     return sweeps.execute(spec)
 
 
+def execute_spec_checkpointed(
+    spec: RunSpec, root: str, every: int
+) -> RunResult:
+    """Run one spec under epoch checkpointing (pool-worker entry point).
+
+    Images live in a per-spec directory under ``root``.  A previous
+    incarnation's images — left behind when a worker (or the parent) was
+    killed mid-run — turn the re-run into a *verified replay*: the state
+    digest is checked at every surviving marker, then fresh images are
+    captured beyond the old frontier.  On success the per-spec directory
+    is deleted (the finished row lives in the result cache; the images
+    only matter while the run is in flight).
+    """
+    import shutil
+
+    from ..recovery.checkpoint import Checkpointer, load_images
+    from ..sim.machine import add_machine_observer, remove_machine_observer
+
+    spec_dir = (
+        Path(root) / hashlib.sha256(repr(spec).encode()).hexdigest()[:32]
+    )
+    images, _corrupt = load_images(spec_dir, every=every)
+    state: dict = {}
+
+    def observe(machine) -> None:
+        if "ckpt" not in state:
+            state["ckpt"] = Checkpointer(
+                machine, spec_dir, every, verify=images
+            )
+
+    add_machine_observer(observe)
+    try:
+        result = execute_spec(spec)
+    finally:
+        remove_machine_observer(observe)
+        ckpt = state.get("ckpt")
+        if ckpt is not None:
+            ckpt.detach()
+    shutil.rmtree(spec_dir, ignore_errors=True)
+    return result
+
+
 class SweepRunner:
     """Executes sweeps of :class:`RunSpec` with caching and a process pool.
 
@@ -337,6 +395,16 @@ class SweepRunner:
     and completed rows are persisted to the cache *as they finish* — so
     an interrupted or crashed sweep resumes from its survivors
     (``resume=True`` / ``--resume``) instead of starting over.
+
+    ``checkpoint_every`` (``REPRO_CKPT_EVERY``) additionally checkpoints
+    each *in-flight* simulation every N versioned ops into per-spec
+    image directories under ``checkpoint_dir`` (``REPRO_CKPT_DIR``,
+    default ``.repro_ckpt/``): a worker — or the whole parent — killed
+    mid-row leaves its images behind, and the resumed sweep replays that
+    row under digest verification (see :mod:`repro.recovery`).
+    Checkpointed rows live in their own cache namespace
+    (``<code-version>-ckpt<N>``) because the epoch pin changes GC
+    dynamics; disabled (the default), checkpointing costs nothing.
 
     Failures the worker *reports* (a raised simulation error) are
     deterministic and re-raise immediately; only process-level failures
@@ -356,6 +424,8 @@ class SweepRunner:
         retries: int | None = None,
         retry_backoff: float = 0.05,
         resume: bool = False,
+        checkpoint_every: int | None = None,
+        checkpoint_dir: str | Path | None = None,
     ):
         self.jobs = jobs if jobs is not None else _jobs_from_env()
         if self.jobs < 1:
@@ -368,11 +438,30 @@ class SweepRunner:
             raise ConfigError("retries must be >= 0")
         self.retry_backoff = retry_backoff
         self.resume = resume
+        self.checkpoint_every = (
+            checkpoint_every
+            if checkpoint_every is not None
+            else _ckpt_every_from_env()
+        )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ConfigError("checkpoint_every must be >= 1")
+        self.checkpoint_dir = str(
+            checkpoint_dir if checkpoint_dir is not None else _ckpt_dir_from_env()
+        )
         if resume:
             use_cache = True  # resuming *is* reading the partial cache
         elif use_cache is None:
             use_cache = _cache_enabled_by_env()
-        self.cache = ResultCache(cache_dir) if use_cache else None
+        # The epoch pin makes checkpointed runs reclaim (slightly) less
+        # aggressively than plain runs — same correctness, different
+        # stats — so checkpointed rows get their own cache namespace
+        # keyed by the cadence: a plain re-run never reads them.
+        version = (
+            f"{code_version()}-ckpt{self.checkpoint_every}"
+            if self.checkpoint_every is not None
+            else None
+        )
+        self.cache = ResultCache(cache_dir, version=version) if use_cache else None
         if resume and self.cache is not None:
             self.cache.clean_stale_tmp()
         self.stats = RunnerStats()
@@ -424,7 +513,24 @@ class SweepRunner:
             yield from self._execute_parallel(specs)
             return
         for spec in specs:
-            yield spec, execute_spec(spec)
+            yield spec, self._execute_one(spec)
+
+    def _execute_one(self, spec: RunSpec) -> RunResult:
+        if self.checkpoint_every is not None:
+            return execute_spec_checkpointed(
+                spec, self.checkpoint_dir, self.checkpoint_every
+            )
+        return execute_spec(spec)
+
+    def _submit(self, pool: ProcessPoolExecutor, spec: RunSpec) -> Future:
+        if self.checkpoint_every is not None:
+            return pool.submit(
+                execute_spec_checkpointed,
+                spec,
+                self.checkpoint_dir,
+                self.checkpoint_every,
+            )
+        return pool.submit(execute_spec, spec)
 
     def _execute_parallel(
         self, specs: list[RunSpec]
@@ -448,7 +554,24 @@ class SweepRunner:
                     deadline = (
                         time.monotonic() + self.timeout if self.timeout else None
                     )
-                    inflight[pool.submit(execute_spec, spec)] = (spec, deadline)
+                    try:
+                        fut = self._submit(pool, spec)
+                    except BrokenExecutor:
+                        # A worker died while we were dispatching: the
+                        # pool refuses new work.  Requeue this spec
+                        # uncharged; the broken pool's in-flight futures
+                        # fail below and drive the rebuild — or, with
+                        # nothing in flight to surface the crash,
+                        # rebuild right here.
+                        attempts[spec] -= 1
+                        queue.appendleft(spec)
+                        if not inflight:
+                            self.stats.crashes += 1
+                            _shutdown_pool(pool, kill=True)
+                            pool = ProcessPoolExecutor(max_workers=workers)
+                            continue
+                        break
+                    inflight[fut] = (spec, deadline)
                 done, _ = futures_wait(
                     set(inflight),
                     timeout=self._poll_interval,

@@ -91,6 +91,7 @@ class SpanRecorder:
         # exact objects that were attached.
         self._task_hook = self._on_task
         self._recovery_hook = self._on_recovery
+        self._drop_hook = self._on_drop
         machine.add_trace_hook(self._edge_hook)
         if machine.task_hook is not None:
             raise RuntimeError("machine already has a task hook attached")
@@ -99,6 +100,11 @@ class SpanRecorder:
             raise RuntimeError("machine already has a recovery hook attached")
         machine.recovery_hook = self._recovery_hook
         machine.gc.phase_hooks.append(self._on_gc_phase)
+        # An aborted task's uncommitted versions are rolled back; their
+        # produce edges must be forgotten with them, or the critical-path
+        # DP would run paths through stores that never happened (the
+        # abort's retry re-records the real edge when it commits).
+        machine.manager.drop_hooks.append(self._drop_hook)
         # LOAD-LATEST ops name a cap, not a version; the consume edge
         # needs the version the lookup resolved to, which only the
         # manager's return value carries.  Wrap the two latest-family
@@ -164,6 +170,9 @@ class SpanRecorder:
     def _on_recovery(self, event: str, info: dict) -> None:
         self.recovery_events.append(RecoveryEvent(self._now(), event, dict(info)))
 
+    def _on_drop(self, vaddr: int, version: int) -> None:
+        self.produces.pop((vaddr, version), None)
+
     def _edge_hook(
         self,
         core: int,
@@ -217,6 +226,10 @@ class SpanRecorder:
             self.machine.recovery_hook = None
         try:
             self.machine.gc.phase_hooks.remove(self._on_gc_phase)
+        except ValueError:
+            pass
+        try:
+            self.machine.manager.drop_hooks.remove(self._drop_hook)
         except ValueError:
             pass
         mgr = self.machine.manager

@@ -70,6 +70,17 @@ class GarbageCollector:
         self._pending: list[tuple[VersionBlock, VersionList]] = []
         self._phase_active = False
         self._recorded_youngest: int = -1
+        #: Epoch pin (repro.recovery): the ``(vaddr, version)`` frontier
+        #: of the latest checkpoint.  A pinned block is never reclaimed,
+        #: so a restore's replay can always re-reach the checkpointed
+        #: state — the same idea as the paper's §III-B reclaim bound,
+        #: applied at checkpoint rather than task granularity.  ``None``
+        #: (the default, when no checkpointer is attached) costs one
+        #: attribute check per finalized block.
+        self.epoch_pin: frozenset[tuple[int, int]] | None = None
+        #: Times the pin was dropped to break allocation-pressure
+        #: starvation (see :meth:`emergency_collect`).
+        self.pin_drops = 0
         #: Callbacks ``fn(vaddr, version)`` fired when a version is
         #: reclaimed (the manager drops compressed-line entries).
         self.reclaim_hooks: list[Callable[[int, int], None]] = []
@@ -212,19 +223,47 @@ class GarbageCollector:
         This is the same safety argument the watermark phase makes in
         aggregate, applied block-by-block, and it satisfies the
         sanitizer's per-reclaim audit.
+
+        An active epoch pin (repro.recovery) additionally holds the
+        checkpoint's version frontier.  A pin must bound, not starve:
+        if a pass frees nothing *because* of the pin, the pin is dropped
+        — forfeiting the rollback point, counted in ``pin_drops`` — and
+        the pass runs once more, so allocation pressure always wins over
+        recoverability (cf. space-bounded multiversion GC).  The drop is
+        deterministic, hence identical in a replay.
         """
         if not self.enabled:
             return 0
         self.stats.emergency_gc_phases += 1
         if self.phase_hooks:
             self._fire_phase("emergency")
+        freed, pin_kept = self._emergency_pass()
+        if freed == 0 and pin_kept > 0:
+            self.epoch_pin = None
+            self.pin_drops += 1
+            freed, _ = self._emergency_pass()
+        if self._phase_active and not self._pending:
+            self._phase_active = False
+            if self.phase_hooks:
+                self._fire_phase("end")
+        return freed
+
+    def _emergency_pass(self) -> tuple[int, int]:
+        """One reachability sweep; returns ``(freed, kept-by-pin)``."""
         live = sorted(self.tracker.live_ids)
         lowest = live[0] if live else None
+        pin = self.epoch_pin
         freed = 0
+        pin_kept = 0
         for queue in (self._pending, self._shadowed):
             kept: list[tuple[VersionBlock, VersionList]] = []
             for block, vlist in queue:
                 if self._reachable(block, vlist, live, lowest):
+                    kept.append((block, vlist))
+                    continue
+                if pin is not None and (vlist.vaddr, block.version) in pin:
+                    self.stats.gc_pin_kept += 1
+                    pin_kept += 1
                     kept.append((block, vlist))
                     continue
                 vlist.remove(block)
@@ -234,11 +273,7 @@ class GarbageCollector:
                 self.stats.gc_reclaimed += 1
                 freed += 1
             queue[:] = kept
-        if self._phase_active and not self._pending:
-            self._phase_active = False
-            if self.phase_hooks:
-                self._fire_phase("end")
-        return freed
+        return freed, pin_kept
 
     def _reachable(
         self,
@@ -279,12 +314,20 @@ class GarbageCollector:
 
     def _finalize(self) -> None:
         """Drain the pending list into the free list."""
+        pin = self.epoch_pin
         kept: list[tuple[VersionBlock, VersionList]] = []
         for block, vlist in self._pending:
             # Defensive checks: a locked block or a list head (the current
             # latest version) is never reclaimed; it returns to the
             # shadowed list and waits for a later phase.
             if block.locked or vlist.head is block:
+                kept.append((block, vlist))
+                continue
+            # Epoch pin (repro.recovery): a block on the latest
+            # checkpoint's frontier waits for the next marker to advance
+            # the pin past it.
+            if pin is not None and (vlist.vaddr, block.version) in pin:
+                self.stats.gc_pin_kept += 1
                 kept.append((block, vlist))
                 continue
             vlist.remove(block)

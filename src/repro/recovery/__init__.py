@@ -1,0 +1,59 @@
+"""Version-store checkpointing, crash recovery, and deterministic replay.
+
+The detect→degrade→recover story so far ends at *degrade*: the watchdog
+and fault injector (PR 3) can diagnose a wedged machine and the sweep
+runner survives dead workers, but a crashed simulation loses everything
+it computed.  This package adds the *recover* leg, built on the same
+property the paper's versioned memory gets recovery from — a bounded,
+pinned version frontier plus deterministic forward replay:
+
+- :mod:`repro.recovery.checkpoint` — :class:`Checkpoint` epoch images
+  of the full simulation state (engine counters, version lists,
+  compressed lines, page table, free list, GC queues, task tracker,
+  cores, rwlocks), CRC-guarded and atomically written, plus the
+  :class:`Checkpointer` that captures them every N versioned ops and
+  pins the GC's reclaim bound at each image's version frontier;
+- :mod:`repro.recovery.policy` — :class:`RecoveryPolicy`, which turns
+  an injected ``crash-machine`` fault (or a killed worker) into a
+  restore: re-run under digest verification against the surviving
+  images and continue to completion, byte-identical to an
+  uninterrupted run;
+- :mod:`repro.recovery.cli` — ``python -m repro recover WORKLOAD
+  --crash-at N``, the end-to-end demonstration that crashing and
+  recovering reproduces the uninterrupted stats row and trace tail
+  character for character.
+
+Restore semantics (stated honestly): task bodies are live generator
+frames and engine events are closures — neither is picklable, so a
+checkpoint cannot literally re-materialise mid-task continuations.
+Instead an image carries the run's *replay coordinates* (workload
+identity, versioned-op marker) and a complete structural digest of the
+machine at that marker.  Restore rebuilds the machine from its spec and
+replays deterministically, **verifying** the digest at every surviving
+marker; the simulator's total event order (see ``repro.sim.engine``)
+makes the replayed prefix byte-identical, and the digests prove it run
+by run instead of assuming it.  The epoch pin keeps the GC's behaviour
+a pure function of the marker cadence, so pinning is part of the
+deterministic contract rather than a side effect.
+"""
+
+from .checkpoint import (
+    Checkpoint,
+    Checkpointer,
+    CheckpointError,
+    capture_state,
+    find_latest_valid_image,
+    load_images,
+)
+from .policy import RecoveryPolicy, RecoveryReport
+
+__all__ = [
+    "Checkpoint",
+    "Checkpointer",
+    "CheckpointError",
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "capture_state",
+    "find_latest_valid_image",
+    "load_images",
+]

@@ -119,6 +119,13 @@ class Machine:
         #: is set or via ``repro.obs.attach_metrics``.  ``None`` keeps
         #: every instrumented path to a single attribute check.
         self.metrics = None
+        #: Epoch checkpointer (repro.recovery), attached externally the
+        #: same way metrics are; ``None`` keeps checkpointing at zero
+        #: hot-path cost (it only ever wraps ``manager._extra``).
+        self.checkpointer = None
+        #: Every rwlock built through :meth:`new_rwlock`, so state
+        #: capture (repro.recovery) can walk them.
+        self.rwlocks: list[SimRWLock] = []
         self._ran = False
         self._submitted = False
         #: Live deadlock watchdog, armed when ``watchdog_cycles > 0``.
@@ -217,7 +224,9 @@ class Machine:
     # -- convenience constructors ------------------------------------------------
 
     def new_rwlock(self, name: str = "rwlock") -> SimRWLock:
-        return SimRWLock(self, name)
+        lock = SimRWLock(self, name)
+        self.rwlocks.append(lock)
+        return lock
 
     # -- task submission -----------------------------------------------------------
 

@@ -55,6 +55,8 @@ class SimStats:
     watchdog_kicks: int = 0
     tasks_retried: int = 0
     faults_injected: int = 0
+    checkpoints_reached: int = 0
+    gc_pin_kept: int = 0
 
     # Tasks.
     tasks_started: int = 0

@@ -66,6 +66,8 @@ def test_snapshot_includes_recovery_counters():
         "watchdog_kicks",
         "tasks_retried",
         "faults_injected",
+        "checkpoints_reached",
+        "gc_pin_kept",
     )
     s = SimStats()
     for i, name in enumerate(recovery, start=1):

@@ -158,6 +158,15 @@ class MachineConfig:
     #: disabled path is a single attribute check per site, so simulated
     #: timing and (to within noise) host time are unchanged.
     metrics: bool = False
+    #: Execute runs of non-stalling micro-ops (``compute`` and
+    #: conventional ``load``/``store``) through the :mod:`repro.sim.fuse`
+    #: fast-path interpreter, retiring a whole run in one engine event.
+    #: Simulated behaviour — ``SimStats``, traces, metric snapshots — is
+    #: byte-identical either way (enforced by tests/test_fuse.py); this
+    #: knob only trades host time for per-op debuggability.  The
+    #: ``REPRO_FUSED=0`` environment escape hatch disables fusion
+    #: globally without touching config identity.
+    fused: bool = True
 
     def __post_init__(self) -> None:
         _require(self.num_cores > 0, "need at least one core")
@@ -240,6 +249,10 @@ class MachineConfig:
     def with_metrics(self, enabled: bool = True) -> "MachineConfig":
         """A copy with the :mod:`repro.obs` metrics registry attached."""
         return replace(self, metrics=enabled)
+
+    def with_fused(self, enabled: bool = True) -> "MachineConfig":
+        """A copy with macro-op fusion on or off (timing-invariant)."""
+        return replace(self, fused=enabled)
 
 
 #: The paper's experimental platform (Table II), 32 cores.

@@ -166,12 +166,57 @@ def _probe_end_to_end() -> tuple[int, float]:
     return result.cycles, time.perf_counter() - t0
 
 
+def _probe_fused_quick() -> tuple[int, float]:
+    """A fusion-dominated end-to-end run: sequential conventional memory.
+
+    The unversioned linked-list baseline is all ``compute``/``load``/
+    ``store`` on one core — exactly the op mix the fused-block
+    interpreter (:mod:`repro.sim.fuse`) retires without engine round
+    trips — so this probe gates the fused tier's throughput the way
+    ``end_to_end_quick`` gates the manager-dominated tier.
+    """
+    spec = irregular_spec(
+        "linked_list", TABLE2, QUICK, "large", "4R-1W", "unversioned"
+    )
+    t0 = time.perf_counter()
+    result = execute(spec)
+    return result.cycles, time.perf_counter() - t0
+
+
+def _probe_version_walk() -> tuple[int, float]:
+    """O-structure version-list traversal: deep chains, stale-version loads.
+
+    Exercises the manager's walk machinery host-side (no event loop):
+    compressed-line direct hits for recent versions, full list walks for
+    old ones.  This is the per-op cost fusion can *not* elide, so it is
+    gated separately from the fused data plane.
+    """
+    from .sim.machine import Machine
+
+    m = Machine(TABLE2.with_cores(1))
+    depth = 40
+    vaddrs = [m.heap.alloc_versioned(1) for _ in range(32)]
+    for vaddr in vaddrs:
+        for v in range(depth):
+            m.manager.store_version(0, vaddr, v, v * 3)
+    ops = 0
+    t0 = time.perf_counter()
+    for _rep in range(8):
+        for vaddr in vaddrs:
+            for v in range(depth):
+                m.manager.load_version(0, vaddr, v)
+                ops += 1
+    return ops, time.perf_counter() - t0
+
+
 PROBES: dict[str, tuple[Callable[[], tuple[int, float]], str]] = {
     "engine_wheel": (_probe_engine_wheel, "events"),
     "engine_solo": (_probe_engine_solo, "events"),
     "cache_lru": (_probe_cache, "ops"),
     "hierarchy_coherence": (_probe_hierarchy, "accesses"),
     "end_to_end_quick": (_probe_end_to_end, "cycles"),
+    "fused_quick": (_probe_fused_quick, "cycles"),
+    "version_walk": (_probe_version_walk, "loads"),
 }
 
 

@@ -27,12 +27,39 @@ TASK_END_CYCLES = 20
 TaskBody = Callable[..., Generator[tuple, Any, Any]]
 
 
+class OpTrace:
+    """A pre-compiled micro-op sequence usable as a task body.
+
+    Wraps a static op tuple — e.g. one recorded from a previous run or
+    emitted by a compiler pass — as a replayable task body: each
+    :meth:`__call__` returns a fresh generator over the same ops, so
+    abort-and-retry restarts work exactly as with generator functions.
+    Op results are discarded (a static trace cannot branch on them);
+    the task's return value is ``None``.
+    """
+
+    __slots__ = ("ops",)
+    __name__ = "optrace"
+
+    def __init__(self, ops: Iterable[tuple]):
+        self.ops = tuple(ops)
+
+    def __call__(self, task_id: int, *args: Any) -> Generator[tuple, Any, Any]:
+        for op in self.ops:
+            yield op
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<OpTrace {len(self.ops)} ops>"
+
+
 class Task:
     """One unit of parallel work: an id plus a generator factory.
 
     ``body(task_id, *args)`` must return a generator that yields micro-ops
     (see :mod:`repro.ostruct.isa`).  The generator's return value is kept
     as ``task.result`` for validation against sequential references.
+    A non-callable ``body`` is taken as a static op sequence and wrapped
+    in an :class:`OpTrace` (compiled op-trace replay).
     """
 
     __slots__ = ("task_id", "body", "args", "label", "result", "finished")
@@ -40,6 +67,8 @@ class Task:
     def __init__(self, task_id: int, body: TaskBody, *args: Any, label: str = ""):
         if task_id < 0:
             raise SimulationError("task ids must be non-negative")
+        if not callable(body):
+            body = OpTrace(body)
         self.task_id = task_id
         self.body = body
         self.args = args

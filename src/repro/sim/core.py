@@ -25,6 +25,7 @@ from ..errors import SimulationError
 from ..ostruct import isa
 from ..ostruct.manager import StallSignal
 from ..runtime.task import TASK_BEGIN_CYCLES, TASK_END_CYCLES, Task
+from .fuse import FUSIBLE, make_interpreter
 
 if TYPE_CHECKING:  # pragma: no cover
     from .machine import Machine
@@ -48,6 +49,8 @@ class Core:
         "_pending_resume",
         "_abort_pending",
         "_restart_delay",
+        "_run_block",
+        "_fuse_cooldown",
         "busy_cycles",
         "_resume_value",
         "_resume_cb",
@@ -75,6 +78,16 @@ class Core:
         self._pending_resume = False
         self._abort_pending = False
         self._restart_delay = 0
+        # Fused-block interpreter (repro.sim.fuse), built once with all
+        # machine-stable state in closure cells; None when fusion is off
+        # (config knob or the REPRO_FUSED env escape hatch).
+        self._run_block = make_interpreter(self) if machine.fused_enabled else None
+        # Congestion backoff: when a block fuses nothing (the very first
+        # advance is refused because neighbouring cores keep the event
+        # queue hot), skip the next COOLDOWN fusible entries and take the
+        # per-op path directly.  Timing-invariant — fusing or not fusing
+        # never changes simulated behaviour, only host time.
+        self._fuse_cooldown = 0
         self.busy_cycles = 0
         # Pre-bound continuations: the retire path schedules one event per
         # retired op, and allocating a fresh closure (or bound method) for
@@ -186,12 +199,26 @@ class Core:
         self._execute(op, retry=True)
 
     def _advance(self, send_value: Any) -> None:
-        assert self._gen is not None
+        gen = self._gen
+        assert gen is not None
         try:
-            op = self._gen.send(send_value)
+            op = gen.send(send_value)
         except StopIteration as stop:
             self._finish_task(stop.value)
             return
+        run_block = self._run_block
+        if run_block is not None and op[0] in FUSIBLE:
+            cd = self._fuse_cooldown
+            if cd:
+                self._fuse_cooldown = cd - 1
+            else:
+                # Fused fast path: drain the run of non-stalling ops
+                # starting at ``op`` in this one engine event
+                # (repro.sim.fuse).  A non-fusible op comes back
+                # undispatched and takes the ordinary path below.
+                op = run_block(gen, op)
+                if op is None:
+                    return
         self._execute(op, retry=False)
 
     def _execute(self, op: tuple, retry: bool) -> None:

@@ -35,6 +35,17 @@ scheduled before it.  ``schedule_at`` rejects times strictly in the past
 (``time < now``); ``schedule`` rejects negative delays.  The wheel cannot
 diverge from the old heap kernel here because both orders are exactly
 "ascending sequence number within one cycle".
+
+**Inline advance** (:meth:`Simulator.try_advance`) is the kernel half of
+the :mod:`repro.sim.fuse` fast path: a callback that knows its own
+continuation would be the next event to fire may advance the clock
+directly and keep running, skipping the schedule/pop round trip.  The
+request is granted only when *no* pending event — solo slot, wheel, or
+overflow heap — has ``time <= now + delay``, so the global
+``(time, sequence)`` execution order is preserved exactly: the elided
+events are precisely those the kernel would have popped with nothing in
+between.  An event scheduled at exactly ``now + delay`` refuses the
+advance, because its (older) sequence number entitles it to run first.
 """
 
 from __future__ import annotations
@@ -70,6 +81,7 @@ class Simulator:
         "now",
         "_seq",
         "_running",
+        "_inline",
         "executed_total",
         "_wheel",
         "_occ",
@@ -84,6 +96,10 @@ class Simulator:
         self.now: int = 0
         self._seq: int = 0
         self._running = False
+        # True only while the *unbounded* run() loop is draining: inline
+        # clock advances must not overshoot an `until` bound or miscount
+        # a `max_events` budget, so bounded runs and step() keep it off.
+        self._inline = False
         #: Events executed over the simulator's lifetime (all run/step
         #: calls); the watchdog uses it as a liveness signal.
         self.executed_total: int = 0
@@ -157,6 +173,48 @@ class Simulator:
             self._solo_fn = fn
             return
         self._insert(time, seq, fn)
+
+    def try_advance(self, delay: int) -> bool:
+        """Advance the clock by ``delay`` from inside the running callback.
+
+        Granted — clock moved, True returned — only when no pending event
+        anywhere in the kernel has ``time <= now + delay``; the caller may
+        then continue executing as if its continuation had been scheduled,
+        popped and fired, because that is exactly what the kernel would
+        have done next.  Refused (False, clock untouched) whenever any
+        event could fire first, including one at exactly ``now + delay``
+        (its older sequence number wins a same-cycle tie), or when the
+        kernel is not in the unbounded ``run()`` drain (bounded runs must
+        observe ``until`` / ``max_events`` at every event boundary).
+
+        The fused-block interpreter (:mod:`repro.sim.fuse`) is the
+        intended caller; granting is what makes fusion *provably*
+        byte-identical to per-op scheduling rather than approximately so.
+        """
+        if not self._inline:
+            return False
+        target = self.now + delay
+        if self._solo_fn is not None:
+            if self._solo_time <= target:
+                return False
+        if self._count:
+            occ = self._occ
+            pos = self.now & _MASK
+            rot = occ >> pos
+            if rot:
+                nxt = self.now + ((rot & -rot).bit_length() - 1)
+            else:
+                low = occ & _LOW[pos]
+                nxt = (
+                    self.now + WHEEL_SLOTS - pos + ((low & -low).bit_length() - 1)
+                )
+            if nxt <= target:
+                return False
+        over = self._over
+        if over and over[0][0] <= target:
+            return False
+        self.now = target
+        return True
 
     def _insert(self, time: int, seq: int, fn: Callable[[], Any]) -> None:
         """File one event into the wheel or the overflow heap.
@@ -274,7 +332,10 @@ class Simulator:
             if until is None and max_events is None:
                 # Fast path: no bound checks per event.  This is the loop
                 # every workload run sits in; per-event branches are
-                # measurable at millions of events.
+                # measurable at millions of events.  Only here may
+                # callbacks use try_advance — there is no bound an inline
+                # clock jump could overshoot.
+                self._inline = True
                 wheel = self._wheel
                 over = self._over
                 low_masks = _LOW
@@ -310,33 +371,38 @@ class Simulator:
                     slot = time & _MASK
                     self.now = time
                     bucket = wheel[slot]
-                    # Drain the whole bucket (one simulated cycle) in one
-                    # pass.  Delay-0 callbacks append to this same bucket
-                    # and are picked up by the growing-length check; the
-                    # per-event _count decrement means a callback of the
-                    # final pending event sees an empty kernel and can
-                    # re-capture the solo slot.
-                    i = 1
-                    done = False
+                    # Drain the whole bucket (one simulated cycle),
+                    # popping each event *before* it runs so the pending
+                    # bookkeeping (count, occupancy) stays truthful for
+                    # try_advance: a fused callback must see exactly the
+                    # events that can still fire, not itself and not
+                    # already-run predecessors.  Delay-0 callbacks
+                    # re-append to this same bucket (re-setting its
+                    # occupancy bit) and drain in the same pass; the
+                    # callback of the final pending event sees an empty
+                    # kernel and can re-capture the solo slot.
+                    n_done = 0
                     try:
-                        while i < len(bucket):
+                        while bucket:
+                            fn = bucket[1]
+                            del bucket[:2]
                             self._count -= 1
-                            bucket[i]()
-                            i += 2
-                        done = True
-                    finally:
-                        if done:
-                            executed += (i - 1) >> 1
-                            bucket.clear()
-                            self._occ &= ~_BIT[slot]
-                        else:
-                            # An event raised mid-bucket.  Match the heap
-                            # kernel: the raising event is consumed but
-                            # not counted; the rest stay queued.
-                            executed += (i - 1) >> 1
-                            del bucket[: i + 1]
                             if not bucket:
                                 self._occ &= ~_BIT[slot]
+                            fn()
+                            n_done += 1
+                            if self.now != time:
+                                # The callback advanced the clock inline.
+                                # Anything now in this bucket belongs to a
+                                # *future* cycle congruent mod the wheel
+                                # width; rescan from the new now rather
+                                # than firing it early.
+                                break
+                    finally:
+                        # On an exception the raising event was consumed
+                        # but is not counted (matching the heap kernel);
+                        # events behind it stay queued.
+                        executed += n_done
             else:
                 while True:
                     time = self._peek_time()
@@ -353,6 +419,7 @@ class Simulator:
                     executed += 1
         finally:
             self._running = False
+            self._inline = False
             self.executed_total += executed
         return executed
 

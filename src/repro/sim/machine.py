@@ -32,6 +32,7 @@ from ..runtime.scheduler import StaticScheduler
 from ..runtime.task import Task, TaskTracker
 from .core import Core
 from .engine import Simulator
+from .fuse import FuseStats, env_enabled as _fuse_env_enabled
 from .hierarchy import MemoryHierarchy
 from .stats import SimStats
 
@@ -96,6 +97,12 @@ class Machine:
             gc=self.gc,
             stats=self.stats,
         )
+        #: Effective fusion switch the cores read at build time:
+        #: ``config.fused`` unless ``REPRO_FUSED`` disables it globally.
+        self.fused_enabled = self.config.fused and _fuse_env_enabled()
+        #: Fusion telemetry (repro.sim.fuse) — host-side only, kept off
+        #: ``SimStats`` so fused and unfused runs stay byte-identical.
+        self.fuse_stats = FuseStats()
         self.cores = [Core(i, self) for i in range(self.config.num_cores)]
         #: Micro-ops retired across all cores; the watchdog's progress
         #: signal (a plain int, bumped on the core retire path).

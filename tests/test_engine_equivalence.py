@@ -35,6 +35,7 @@ import pytest
 
 from repro.config import TABLE2
 from repro.harness.presets import QUICK
+from repro.harness.runner import make_spec
 from repro.harness.sweeps import execute, irregular_spec, regular_spec
 
 FIXTURE = Path(__file__).parent / "fixtures" / "golden_traces.json"
@@ -75,6 +76,31 @@ def test_kernel_reproduces_heapq_golden_trace(label):
     assert _row(label) == golden[label], (
         f"{label}: stats row diverged from the heapq-kernel golden trace "
         f"— the event kernel is not order-preserving"
+    )
+
+
+def _unfused(spec):
+    """The same spec pinned to the per-op execution tier."""
+    params = dict(spec.params)
+    params["config"] = params["config"].with_fused(False)
+    return make_spec(spec.fn, **params)
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN_SPECS))
+def test_unfused_tier_reproduces_heapq_golden_trace(label):
+    """The per-op tier must hit the very same golden rows as the fused one.
+
+    The fixtures were generated before macro-op fusion existed, so the
+    default-tier test above already proves fused == golden; this one
+    proves ``fused=False`` == golden, closing the fused == unfused
+    byte-identity triangle on the committed traces (no regeneration).
+    """
+    golden = _fixture()
+    row = json.dumps(execute(_unfused(GOLDEN_SPECS[label])).to_json(), sort_keys=True)
+    assert row == golden[label], (
+        f"{label}: per-op (fused=False) tier diverged from the golden "
+        f"trace the fused tier reproduces — the execution tiers are not "
+        f"byte-identical"
     )
 
 

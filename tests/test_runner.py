@@ -157,6 +157,35 @@ class TestCache:
         assert ResultCache(tmp_path, version="bbbb").load(spec) is None
         assert code_version() == code_version()  # memoised, stable
 
+    def test_spec_digest_depends_on_fused_flag(self, tmp_path):
+        # Rows produced by the two execution tiers must never alias:
+        # ``config.fused`` is part of the spec repr and hence the digest.
+        base = irregular_spec("linked_list", TABLE2, TINY, "small", "4R-1W", "versioned", 1)
+        hatch = irregular_spec(
+            "linked_list",
+            TABLE2.with_fused(False),
+            TINY,
+            "small",
+            "4R-1W",
+            "versioned",
+            1,
+        )
+        assert repr(base) != repr(hatch)
+        cache = ResultCache(tmp_path)
+        assert cache.path_for(base) != cache.path_for(hatch)
+
+    def test_cache_namespace_depends_on_fused_env_hatch(self, tmp_path, monkeypatch):
+        plain = SweepRunner(cache_dir=tmp_path / "a", jobs=1)
+        assert plain.cache.version == code_version()
+        monkeypatch.setenv("REPRO_FUSED", "0")
+        hatch = SweepRunner(cache_dir=tmp_path / "b", jobs=1)
+        assert hatch.cache.version == f"{code_version()}-nofuse"
+        # Composes with the checkpoint-cadence namespace.
+        both = SweepRunner(
+            cache_dir=tmp_path / "c", jobs=1, checkpoint_every=16
+        )
+        assert both.cache.version == f"{code_version()}-ckpt16-nofuse"
+
     def test_duplicate_specs_simulated_once(self):
         spec = _fig6_slice(TINY)[0]
         runner = SweepRunner(jobs=1, use_cache=False)

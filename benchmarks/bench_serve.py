@@ -1,0 +1,87 @@
+"""Serving-layer benchmark: throughput and tail latency per load mix.
+
+Boots one in-process :class:`repro.serve.ServeServer` per mix and drives
+it closed-loop with the seeded load generator, echoing one row per mix
+(throughput, p50/p95/p99).  The numbers are **reported, not gated** —
+loopback TCP latency on a shared CI host is noise-dominated, so this
+bench exists to give future PRs a trajectory, while correctness *is*
+gated: zero protocol errors, zero read-validity violations, and a
+non-zero shed count in the overload sub-run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from common import echo
+
+from repro.harness.report import format_table
+from repro.serve.cli import SELF_BENCH_WATERMARKS, _HEADERS, _report_row
+from repro.serve.loadgen import LoadGen, flood
+from repro.serve.server import ServeServer
+from repro.serve.store import ShardedStore
+
+MIX_NAMES = ("read_heavy", "write_heavy", "lock_contention", "snapshot_scan")
+
+
+async def _drive(mix: str, ops: int) -> dict:
+    store = ShardedStore(
+        num_shards=8, reclaim_watermark=SELF_BENCH_WATERMARKS.get(mix, 0)
+    )
+    server = ServeServer(store, threads=8, max_inflight=64)
+    await server.start()
+    try:
+        gen = LoadGen(server.host, server.port, mix, seed=0, ops=ops, clients=8)
+        report = await gen.run()
+    finally:
+        clean = await server.drain()
+    return {
+        "report": report,
+        "clean": clean,
+        "server_errors": server.stats.protocol_errors,
+    }
+
+
+async def _overload() -> dict:
+    server = ServeServer(ShardedStore(num_shards=2), threads=2, max_inflight=6)
+    await server.start()
+    try:
+        report = await flood(
+            server.host, server.port, requests=48, deadline_ms=200, pool_size=4
+        )
+    finally:
+        clean = await server.drain()
+    return {"report": report, "clean": clean, "shed": server.stats.shed}
+
+
+@pytest.mark.figure("serve")
+def test_serve_throughput_per_mix(run_once):
+    async def all_mixes():
+        return [await _drive(mix, ops=400) for mix in MIX_NAMES]
+
+    results = run_once(asyncio.run, all_mixes())
+    rows = [_report_row(r["report"]) for r in results]
+    echo(format_table(_HEADERS, rows, title="repro.serve closed-loop mixes"))
+
+    for mix, r in zip(MIX_NAMES, results):
+        report = r["report"]
+        assert report.protocol_errors == 0, (mix, report)
+        assert r["server_errors"] == 0, mix
+        assert report.violations == [], (mix, report.violations[:3])
+        assert report.ok > 0 and report.throughput > 0, mix
+        assert r["clean"], f"{mix}: server did not drain cleanly"
+    # The watermarked write mix must actually exercise reclamation.
+    write = results[MIX_NAMES.index("write_heavy")]["report"]
+    assert write.reclaimed > 0
+
+
+@pytest.mark.figure("serve")
+def test_serve_overload_sheds(run_once):
+    result = run_once(asyncio.run, _overload())
+    report = result["report"]
+    echo(format_table(_HEADERS, [_report_row(report)], title="overload flood"))
+    assert report.sheds > 0
+    assert result["shed"] == report.sheds
+    assert report.protocol_errors == 0
+    assert result["clean"]

@@ -18,6 +18,9 @@ Usage::
     python -m repro obs                    # metrics-on sweep summary table
     python -m repro recover rb_tree --crash-at 1000   # crash + replay demo
     python -m repro fig6 --checkpoint-every 256       # killable mid-row
+    python -m repro serve --port 7270                 # MVCC service (TCP)
+    python -m repro serve --self-bench --seed 0       # in-process bench
+    python -m repro loadgen --port 7270 --mix write_heavy
 
 Sweeps fan out over a process pool (``--jobs`` / ``REPRO_JOBS``, default:
 all host cores) and memoise finished runs under ``.repro_cache/`` so a
@@ -117,6 +120,16 @@ def main(argv: list[str] | None = None) -> int:
         from .recovery.cli import main as recover_main
 
         return recover_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The sharded MVCC service over repro.sw; see repro.serve.cli.
+        from .serve.cli import main_serve
+
+        return main_serve(argv[1:])
+    if argv and argv[0] == "loadgen":
+        # Load generator against a running service; see repro.serve.cli.
+        from .serve.cli import main_loadgen
+
+        return main_loadgen(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the IPDPS 2018 O-structures evaluation.",

@@ -1,0 +1,311 @@
+"""Clients for the O-structure service.
+
+:class:`AsyncServeClient` is the native surface: a pool of TCP
+connections, each with a background reader matching responses to their
+requests by ``request_id`` (the protocol multiplexes, so one connection
+carries many in-flight operations).  Requests round-robin over the pool.
+
+:class:`SyncServeClient` is a convenience wrapper that owns a private
+event loop on a daemon thread and forwards every call through
+``run_coroutine_threadsafe`` — same code path, blocking calling
+convention — for scripts and tests that don't want to be async.
+
+Error mapping: a non-OK response raises a typed :class:`ServeError`
+subclass (:class:`ServeTimeout`, :class:`ServeOverload`, ...) carrying
+the response body, so callers can tell shed from slow from absent with
+an ``except`` clause instead of status-code comparisons.  Callers that
+prefer inspecting statuses (the load generator does, since overload and
+timeout are *data* to it) use ``request_raw`` and get the message back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from typing import Any
+
+from ..errors import ReproError
+from . import protocol as P
+
+
+class ServeError(ReproError):
+    """A request was answered with a non-OK status."""
+
+    status = P.ERR_INTERNAL
+
+    def __init__(self, message: str, body: dict[str, Any] | None = None):
+        self.body = body or {}
+        super().__init__(message)
+
+
+class ServeTimeout(ServeError):
+    status = P.ERR_TIMEOUT
+
+
+class ServeOverload(ServeError):
+    status = P.ERR_OVERLOAD
+
+
+class ServeVersionNotFound(ServeError):
+    status = P.ERR_VERSION_NOT_FOUND
+
+
+class ServeVersionExists(ServeError):
+    status = P.ERR_VERSION_EXISTS
+
+
+class ServeNotLocked(ServeError):
+    status = P.ERR_NOT_LOCKED
+
+
+class ServeBadRequest(ServeError):
+    status = P.ERR_BAD_REQUEST
+
+
+class ServeShuttingDown(ServeError):
+    status = P.ERR_SHUTTING_DOWN
+
+
+_ERROR_TYPES = {
+    cls.status: cls
+    for cls in (
+        ServeTimeout, ServeOverload, ServeVersionNotFound, ServeVersionExists,
+        ServeNotLocked, ServeBadRequest, ServeShuttingDown,
+    )
+}
+
+
+def error_for(msg: P.Message) -> ServeError:
+    cls = _ERROR_TYPES.get(msg.code, ServeError)
+    detail = msg.body.get("error", msg.status_name)
+    return cls(f"{msg.status_name}: {detail}", msg.body)
+
+
+class _Connection:
+    """One socket: a writer, a reader task, and the in-flight future map."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self.pending: dict[int, asyncio.Future] = {}
+        self.decoder = P.FrameDecoder()
+        self.reader_task = asyncio.ensure_future(self._read_loop())
+        self.closed = False
+
+    async def _read_loop(self) -> None:
+        error: Exception = ConnectionResetError("connection closed by server")
+        try:
+            while True:
+                data = await self.reader.read(65536)
+                if not data:
+                    break
+                for msg in self.decoder.feed(data):
+                    fut = self.pending.pop(msg.request_id, None)
+                    if fut is not None and not fut.done():
+                        fut.set_result(msg)
+        except P.ProtocolError as exc:
+            error = exc
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.closed = True
+            for fut in self.pending.values():
+                if not fut.done():
+                    fut.set_exception(error)
+            self.pending.clear()
+            self.writer.close()
+
+    async def close(self) -> None:
+        self.reader_task.cancel()
+        try:
+            await self.reader_task
+        except asyncio.CancelledError:
+            pass
+        self.writer.close()
+
+
+class AsyncServeClient:
+    """Connection-pooled async client."""
+
+    def __init__(self, host: str, port: int, *, pool_size: int = 4):
+        if pool_size <= 0:
+            raise ReproError("pool_size must be positive")
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self._conns: list[_Connection] = []
+        self._ids = itertools.count(1)
+        self._rr = itertools.count()
+
+    async def connect(self) -> "AsyncServeClient":
+        for _ in range(self.pool_size):
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+            self._conns.append(_Connection(reader, writer))
+        return self
+
+    async def close(self) -> None:
+        for conn in self._conns:
+            await conn.close()
+        self._conns.clear()
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- transport ---------------------------------------------------------
+
+    async def request_raw(self, op: int, body: dict[str, Any]) -> P.Message:
+        """Send one request; return the raw response message (any status)."""
+        if not self._conns:
+            raise ReproError("client is not connected")
+        live = [c for c in self._conns if not c.closed]
+        if not live:
+            raise ConnectionResetError("all pooled connections are closed")
+        conn = live[next(self._rr) % len(live)]
+        request_id = next(self._ids) & 0xFFFFFFFF
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        conn.pending[request_id] = fut
+        conn.writer.write(P.encode_request(op, request_id, body))
+        await conn.writer.drain()
+        return await fut
+
+    async def request(self, op: int, body: dict[str, Any]) -> dict[str, Any]:
+        """Send one request; return the OK body or raise a typed error."""
+        msg = await self.request_raw(op, body)
+        if msg.code != P.OK:
+            raise error_for(msg)
+        return msg.body
+
+    # -- the op surface ----------------------------------------------------
+
+    async def ping(self) -> None:
+        await self.request(P.OP_PING, {})
+
+    async def stats(self) -> dict[str, Any]:
+        return await self.request(P.OP_STATS, {})
+
+    async def task_begin(self, task_id: int) -> None:
+        await self.request(P.OP_TASK_BEGIN, {"task": task_id})
+
+    async def task_end(self, task_id: int) -> None:
+        await self.request(P.OP_TASK_END, {"task": task_id})
+
+    async def load_version(
+        self, key: str, version: int, *, deadline_ms: int | None = None
+    ) -> Any:
+        body: dict[str, Any] = {"key": key, "version": version}
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return (await self.request(P.OP_LOAD_VERSION, body))["value"]
+
+    async def load_latest(
+        self, key: str, cap: int, *, deadline_ms: int | None = None
+    ) -> tuple[int, Any]:
+        body: dict[str, Any] = {"key": key, "cap": cap}
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        resp = await self.request(P.OP_LOAD_LATEST, body)
+        return resp["version"], resp["value"]
+
+    async def store_version(self, key: str, version: int, value: Any) -> int:
+        resp = await self.request(
+            P.OP_STORE_VERSION, {"key": key, "version": version, "value": value}
+        )
+        return resp.get("reclaimed", 0)
+
+    async def lock_load_version(
+        self, key: str, version: int, task_id: int, *, deadline_ms: int | None = None
+    ) -> Any:
+        body: dict[str, Any] = {"key": key, "version": version, "task": task_id}
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return (await self.request(P.OP_LOCK_LOAD_VERSION, body))["value"]
+
+    async def lock_load_latest(
+        self, key: str, cap: int, task_id: int, *, deadline_ms: int | None = None
+    ) -> tuple[int, Any]:
+        body: dict[str, Any] = {"key": key, "cap": cap, "task": task_id}
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        resp = await self.request(P.OP_LOCK_LOAD_LATEST, body)
+        return resp["version"], resp["value"]
+
+    async def unlock_version(
+        self, key: str, version: int, task_id: int, new_version: int | None = None
+    ) -> None:
+        await self.request(
+            P.OP_UNLOCK_VERSION,
+            {
+                "key": key, "version": version, "task": task_id,
+                "new_version": new_version,
+            },
+        )
+
+
+class SyncServeClient:
+    """Blocking facade: the async client on a private loop thread."""
+
+    def __init__(self, host: str, port: int, *, pool_size: int = 1,
+                 call_timeout: float = 30.0):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="serve-client-loop", daemon=True
+        )
+        self._thread.start()
+        self._call_timeout = call_timeout
+        self._client = AsyncServeClient(host, port, pool_size=pool_size)
+        self._run(self._client.connect())
+
+    def _run(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            timeout=self._call_timeout
+        )
+
+    def close(self) -> None:
+        self._run(self._client.close())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        self._loop.close()
+
+    def __enter__(self) -> "SyncServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def ping(self) -> None:
+        self._run(self._client.ping())
+
+    def stats(self) -> dict[str, Any]:
+        return self._run(self._client.stats())
+
+    def task_begin(self, task_id: int) -> None:
+        self._run(self._client.task_begin(task_id))
+
+    def task_end(self, task_id: int) -> None:
+        self._run(self._client.task_end(task_id))
+
+    def load_version(self, key: str, version: int, **kw) -> Any:
+        return self._run(self._client.load_version(key, version, **kw))
+
+    def load_latest(self, key: str, cap: int, **kw) -> tuple[int, Any]:
+        return self._run(self._client.load_latest(key, cap, **kw))
+
+    def store_version(self, key: str, version: int, value: Any) -> int:
+        return self._run(self._client.store_version(key, version, value))
+
+    def lock_load_version(self, key: str, version: int, task_id: int, **kw) -> Any:
+        return self._run(self._client.lock_load_version(key, version, task_id, **kw))
+
+    def lock_load_latest(self, key: str, cap: int, task_id: int, **kw) -> tuple[int, Any]:
+        return self._run(self._client.lock_load_latest(key, cap, task_id, **kw))
+
+    def unlock_version(
+        self, key: str, version: int, task_id: int, new_version: int | None = None
+    ) -> None:
+        self._run(
+            self._client.unlock_version(key, version, task_id, new_version)
+        )

@@ -1,0 +1,475 @@
+"""Seeded load generator + post-run read-validity checker.
+
+Four canonical mixes drive the service the way the paper's workload
+classes drive the simulator:
+
+- ``read_heavy``: mostly capped latest-loads with a trickle of stores —
+  the web-serving shape.
+- ``write_heavy``: store-dominated; with a reclamation watermark set on
+  the server this is the mix that exercises VBR-style version dropping
+  under live readers.
+- ``lock_contention``: lock/unlock cycles (some with renaming unlocks)
+  over a tiny hot key set — the paper's reduction/rename use-case as a
+  service workload.
+- ``snapshot_scan``: a writer stream plus scanners issuing capped
+  latest-loads across the whole key space at one snapshot id — Table I's
+  snapshot-isolation use-case over the wire.
+
+Two driving modes: **closed-loop** (N workers, back-to-back requests —
+throughput is capacity-bound) and **open-loop** (fixed arrival rate
+independent of completions — latency includes queueing, the
+overload-realistic shape).
+
+Determinism: every worker derives its RNG from ``(seed, mix, worker)``
+and allocates version ids from a worker-partitioned space
+(``BASE + n*workers + worker``), so op streams are reproducible and no
+two workers can ever collide on a ``STORE-VERSION`` — any
+``version-exists`` reply is a real bug, and the generator counts it as
+a protocol error.
+
+The :class:`ReadChecker` gives the serving path the same
+byte-level-correctness culture the simulator has: every store is
+recorded *before* its request is sent (so a read can never observe a
+version the checker has not heard of), and after the run every
+versioned read is validated against that history — value match, exact
+version match, and cap discipline for latest-loads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ReproError
+from ..obs.metrics import Histogram, MetricsRegistry
+from . import protocol as P
+from .client import AsyncServeClient
+
+#: Versions 0 and 1 are reserved: 1 seeds every key before a run.
+SETUP_VERSION = 1
+BASE_VERSION = 2
+#: Cap meaning "no cap" for latest-loads (well above any allocated id).
+NO_CAP = 1 << 30
+
+#: Latency bucket edges in microseconds (loopback TCP round trips).
+LATENCY_BOUNDS_US = (
+    100, 200, 400, 800, 1600, 3200, 6400, 12800,
+    25600, 51200, 102400, 204800, 409600, 819200,
+)
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """Op weights of one mix (weights need not sum to 1)."""
+
+    name: str
+    keys: int
+    read_latest: float = 0.0
+    read_exact: float = 0.0
+    store: float = 0.0
+    lock_cycle: float = 0.0
+    scan: float = 0.0
+    rename_frac: float = 0.25  # renaming unlocks within lock cycles
+
+    def weighted_ops(self) -> list[tuple[str, float]]:
+        pairs = [
+            ("read_latest", self.read_latest),
+            ("read_exact", self.read_exact),
+            ("store", self.store),
+            ("lock_cycle", self.lock_cycle),
+            ("scan", self.scan),
+        ]
+        out = [(name, w) for name, w in pairs if w > 0]
+        if not out:
+            raise ReproError(f"mix {self.name!r} has no positive op weight")
+        return out
+
+
+MIXES: dict[str, MixSpec] = {
+    "read_heavy": MixSpec("read_heavy", keys=16, read_latest=0.70,
+                          read_exact=0.20, store=0.10),
+    "write_heavy": MixSpec("write_heavy", keys=16, read_latest=0.25,
+                           read_exact=0.05, store=0.70),
+    "lock_contention": MixSpec("lock_contention", keys=2, read_latest=0.25,
+                               lock_cycle=0.65, store=0.10),
+    "snapshot_scan": MixSpec("snapshot_scan", keys=12, read_latest=0.15,
+                             store=0.35, scan=0.50),
+}
+
+
+class ReadChecker:
+    """Post-run linearizability-style validation of versioned reads.
+
+    ``record_store`` must be called *before* the store request is sent:
+    recording first makes "read observed a version we never heard of" a
+    sound violation even though workers race (a committed store
+    happens-after its record, and a read can only observe committed
+    versions).
+    """
+
+    def __init__(self) -> None:
+        #: key -> version -> value recorded at send time.
+        self.history: dict[str, dict[int, Any]] = {}
+        #: (key, version, value, cap, detail) observations.
+        self.reads: list[tuple[str, int, Any, int | None, str]] = []
+
+    def record_store(self, key: str, version: int, value: Any) -> None:
+        by_key = self.history.setdefault(key, {})
+        if version in by_key:
+            raise ReproError(
+                f"loadgen bug: duplicate version {version} planned for {key!r}"
+            )
+        by_key[version] = value
+
+    def record_read(
+        self, key: str, version: int, value: Any,
+        cap: int | None = None, detail: str = "",
+    ) -> None:
+        self.reads.append((key, version, value, cap, detail))
+
+    def violations(self) -> list[str]:
+        out = []
+        for key, version, value, cap, detail in self.reads:
+            tag = f"{detail or 'read'} {key!r} v{version}"
+            if cap is not None and version > cap:
+                out.append(f"{tag}: version above cap {cap}")
+                continue
+            expected = self.history.get(key, {}).get(version, _UNKNOWN)
+            if expected is _UNKNOWN:
+                out.append(f"{tag}: version never stored by this run")
+            elif expected != value:
+                out.append(
+                    f"{tag}: value {value!r} != stored {expected!r}"
+                )
+        return out
+
+
+_UNKNOWN = object()
+
+
+@dataclass
+class LoadReport:
+    """Everything one mix run produced."""
+
+    mix: str
+    mode: str
+    ops: int = 0
+    ok: int = 0
+    sheds: int = 0
+    timeouts: int = 0
+    protocol_errors: int = 0
+    violations: list[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    latency: dict[str, Any] = field(default_factory=dict)
+    reclaimed: int = 0
+
+    @property
+    def throughput(self) -> float:
+        return self.ok / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def quantile_ms(self, q: float) -> float:
+        """Bucketed latency quantile in milliseconds."""
+        hist = Histogram("latency_us", LATENCY_BOUNDS_US)
+        snap = self.latency
+        if snap:
+            hist.counts = list(snap["counts"])
+            hist.count = snap["count"]
+            hist.total = snap["sum"]
+            hist.min = snap["min"]
+            hist.max = snap["max"]
+        return hist.quantile(q) / 1000.0
+
+
+class LoadGen:
+    """Drive one mix against a running server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        mix: str | MixSpec,
+        *,
+        seed: int = 0,
+        ops: int = 400,
+        clients: int = 8,
+        pool_size: int | None = None,
+        open_rate: float | None = None,
+        session_every: int = 32,
+        deadline_ms: int = 5_000,
+    ):
+        self.host = host
+        self.port = port
+        self.mix = MIXES[mix] if isinstance(mix, str) else mix
+        self.seed = seed
+        self.ops = ops
+        self.clients = clients
+        self.pool_size = pool_size or min(clients, 8)
+        self.open_rate = open_rate
+        self.session_every = max(1, session_every)
+        self.deadline_ms = deadline_ms
+        self.checker = ReadChecker()
+        self.metrics = MetricsRegistry()
+        self._latency = self.metrics.histogram("latency_us", LATENCY_BOUNDS_US)
+        self._next_n = [0] * clients  # per-worker version allocation counter
+        self._recent: list[dict[str, list[int]]] = [
+            {} for _ in range(clients)
+        ]  # per-worker, current-session stores (safe exact-read targets)
+
+    # -- version allocation ------------------------------------------------
+
+    def _alloc(self, worker: int) -> int:
+        n = self._next_n[worker]
+        self._next_n[worker] = n + 1
+        return BASE_VERSION + n * self.clients + worker
+
+    def _frontier(self, worker: int) -> int:
+        """The next id this worker would allocate (its session task id)."""
+        return BASE_VERSION + self._next_n[worker] * self.clients + worker
+
+    # -- the run -----------------------------------------------------------
+
+    async def run(self) -> LoadReport:
+        mode = "open" if self.open_rate else "closed"
+        report = LoadReport(mix=self.mix.name, mode=mode)
+        keys = [f"{self.mix.name}/k{i}" for i in range(self.mix.keys)]
+        async with AsyncServeClient(
+            self.host, self.port, pool_size=self.pool_size
+        ) as client:
+            # Seed every key so capped latest-loads always have a floor.
+            for key in keys:
+                value = f"{key}#{SETUP_VERSION}"
+                self.checker.record_store(key, SETUP_VERSION, value)
+                await client.store_version(key, SETUP_VERSION, value)
+            start = time.perf_counter()
+            per_worker = [
+                self.ops // self.clients
+                + (1 if w < self.ops % self.clients else 0)
+                for w in range(self.clients)
+            ]
+            workers = [
+                self._worker(client, w, per_worker[w], keys, report)
+                for w in range(self.clients)
+            ]
+            await asyncio.gather(*workers)
+            report.wall_seconds = time.perf_counter() - start
+        report.violations = self.checker.violations()
+        report.latency = self._latency.snapshot()
+        return report
+
+    async def _worker(
+        self,
+        client: AsyncServeClient,
+        w: int,
+        budget: int,
+        keys: list[str],
+        report: LoadReport,
+    ) -> None:
+        rng = random.Random(f"{self.seed}:{self.mix.name}:{w}")
+        ops = self.mix.weighted_ops()
+        names = [name for name, _ in ops]
+        weights = [weight for _, weight in ops]
+        interval = (
+            self.clients / self.open_rate if self.open_rate else None
+        )
+        next_fire = time.perf_counter() + (rng.random() * interval if interval else 0)
+
+        tid = self._frontier(w)
+        await self._session_begin(client, tid, report)
+        since_refresh = 0
+        try:
+            for _ in range(budget):
+                if interval is not None:
+                    delay = next_fire - time.perf_counter()
+                    next_fire += interval
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                if since_refresh >= self.session_every:
+                    since_refresh = 0
+                    new_tid = self._frontier(w)
+                    if new_tid != tid:
+                        # Begin-before-end: the floor never overtakes us.
+                        await self._session_begin(client, new_tid, report)
+                        await self._session_end(client, tid, report)
+                        tid = new_tid
+                        self._recent[w].clear()
+                since_refresh += 1
+                op = rng.choices(names, weights)[0]
+                await self._one_op(client, w, op, rng, keys, tid, report)
+        finally:
+            await self._session_end(client, tid, report)
+
+    async def _session_begin(self, client, tid, report) -> None:
+        msg = await client.request_raw(P.OP_TASK_BEGIN, {"task": tid})
+        if msg.code != P.OK:
+            report.protocol_errors += 1
+
+    async def _session_end(self, client, tid, report) -> None:
+        try:
+            msg = await client.request_raw(P.OP_TASK_END, {"task": tid})
+        except (ReproError, ConnectionError):
+            return
+        if msg.code != P.OK:
+            report.protocol_errors += 1
+
+    # -- one operation -----------------------------------------------------
+
+    async def _one_op(
+        self, client, w: int, op: str, rng: random.Random,
+        keys: list[str], tid: int, report: LoadReport,
+    ) -> None:
+        if op == "scan":
+            cap = max(self._frontier(i) for i in range(self.clients))
+            for key in keys:
+                await self._timed(
+                    client, report, P.OP_LOAD_LATEST,
+                    {"key": key, "cap": cap, "deadline_ms": self.deadline_ms},
+                    read_cap=cap, detail="scan",
+                )
+            return
+
+        key = rng.choice(keys)
+        if op == "read_latest":
+            await self._timed(
+                client, report, P.OP_LOAD_LATEST,
+                {"key": key, "cap": NO_CAP, "deadline_ms": self.deadline_ms},
+                read_cap=NO_CAP, detail="load-latest",
+            )
+        elif op == "read_exact":
+            recent = self._recent[w].get(key)
+            if not recent:
+                await self._timed(
+                    client, report, P.OP_LOAD_LATEST,
+                    {"key": key, "cap": NO_CAP, "deadline_ms": self.deadline_ms},
+                    read_cap=NO_CAP, detail="load-latest",
+                )
+                return
+            version = rng.choice(recent)
+            await self._timed(
+                client, report, P.OP_LOAD_VERSION,
+                {"key": key, "version": version, "deadline_ms": self.deadline_ms},
+                expect_version=version, detail="load-version",
+            )
+        elif op == "store":
+            version = self._alloc(w)
+            value = f"{key}#{version}"
+            self.checker.record_store(key, version, value)
+            msg = await self._timed(
+                client, report, P.OP_STORE_VERSION,
+                {"key": key, "version": version, "value": value},
+                detail="store-version",
+            )
+            if msg is not None and msg.code == P.OK:
+                self._recent[w].setdefault(key, []).append(version)
+                report.reclaimed += msg.body.get("reclaimed", 0)
+        elif op == "lock_cycle":
+            msg = await self._timed(
+                client, report, P.OP_LOCK_LOAD_LATEST,
+                {"key": key, "cap": NO_CAP, "task": tid,
+                 "deadline_ms": self.deadline_ms},
+                read_cap=NO_CAP, detail="lock-load-latest",
+            )
+            if msg is None or msg.code != P.OK:
+                return
+            version = msg.body["version"]
+            body = {"key": key, "version": version, "task": tid,
+                    "new_version": None}
+            if rng.random() < self.mix.rename_frac:
+                new_version = self._alloc(w)
+                # A renaming unlock aliases the locked value under a new id.
+                self.checker.record_store(key, new_version, msg.body["value"])
+                body["new_version"] = new_version
+            unlock = await self._timed(
+                client, report, P.OP_UNLOCK_VERSION, body,
+                detail="unlock-version",
+            )
+            if (
+                unlock is not None and unlock.code == P.OK
+                and body["new_version"] is not None
+            ):
+                self._recent[w].setdefault(key, []).append(body["new_version"])
+        else:  # pragma: no cover - MixSpec.weighted_ops guards this
+            raise ReproError(f"unknown op {op!r}")
+
+    async def _timed(
+        self, client, report: LoadReport, op: int, body: dict[str, Any],
+        *, read_cap: int | None = None, expect_version: int | None = None,
+        detail: str = "",
+    ) -> P.Message | None:
+        report.ops += 1
+        start = time.perf_counter()
+        try:
+            msg = await client.request_raw(op, body)
+        except (ReproError, ConnectionError) as exc:
+            report.protocol_errors += 1
+            self.metrics.counter("transport_errors").inc()
+            self.metrics.counter(f"err:{type(exc).__name__}").inc()
+            return None
+        self._latency.observe((time.perf_counter() - start) * 1e6)
+        if msg.code == P.OK:
+            report.ok += 1
+            self.metrics.counter("ok").inc()
+            if read_cap is not None or expect_version is not None:
+                version = msg.body.get("version")
+                if expect_version is not None and version != expect_version:
+                    report.violations.append(
+                        f"{detail}: asked v{expect_version}, got v{version}"
+                    )
+                self.checker.record_read(
+                    body["key"], version, msg.body.get("value"),
+                    cap=read_cap, detail=detail,
+                )
+        elif msg.code == P.ERR_OVERLOAD:
+            report.sheds += 1
+            self.metrics.counter("shed").inc()
+        elif msg.code == P.ERR_TIMEOUT:
+            report.timeouts += 1
+            self.metrics.counter("timeout").inc()
+        else:
+            report.protocol_errors += 1
+            self.metrics.counter(f"unexpected:{msg.status_name}").inc()
+        return msg
+
+
+async def flood(
+    host: str,
+    port: int,
+    *,
+    requests: int = 80,
+    deadline_ms: int = 300,
+    pool_size: int = 4,
+    key: str = "flood/k0",
+) -> LoadReport:
+    """Fire ``requests`` concurrent never-satisfiable loads at once.
+
+    Every request parks server-side until its deadline (the version is
+    never stored), so in-flight depth ramps to the admission limit
+    instantly and everything beyond it must be shed — the overload
+    sub-test of the self-benchmark.
+    """
+    report = LoadReport(mix="overload_flood", mode="open")
+    async with AsyncServeClient(host, port, pool_size=pool_size) as client:
+        start = time.perf_counter()
+
+        async def one() -> None:
+            report.ops += 1
+            body = {"key": key, "version": NO_CAP, "deadline_ms": deadline_ms}
+            try:
+                msg = await client.request_raw(P.OP_LOAD_VERSION, body)
+            except (ReproError, ConnectionError):
+                report.protocol_errors += 1
+                return
+            if msg.code == P.ERR_OVERLOAD:
+                report.sheds += 1
+            elif msg.code == P.ERR_TIMEOUT:
+                report.timeouts += 1
+            elif msg.code == P.OK:
+                report.ok += 1
+            else:
+                report.protocol_errors += 1
+
+        await asyncio.gather(*(one() for _ in range(requests)))
+        report.wall_seconds = time.perf_counter() - start
+    return report

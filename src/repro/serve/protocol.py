@@ -1,0 +1,237 @@
+"""Wire protocol for the O-structure service: length-prefixed frames.
+
+Every message on the wire is one *frame*::
+
+    uint32 (big-endian)   payload length N (bounded by MAX_FRAME)
+    N bytes               payload
+
+and every payload is a fixed 8-byte header followed by a JSON body::
+
+    uint16  magic         0x4F56 ("OV", O-structure Versioning)
+    uint8   kind          0 = request, 1 = response
+    uint8   code          opcode (requests) or status (responses)
+    uint32  request_id    echoed verbatim in the matching response
+    bytes   body          UTF-8 JSON object (may be empty == ``{}``)
+
+The opcodes map the paper's Section II-A operation vocabulary one-to-one
+onto the wire — the six versioned-memory ops plus the TASK-BEGIN /
+TASK-END session frames that drive reclamation — so a protocol trace
+reads like an O-structure program.  Responses carry explicit error codes
+(timeout, overload, version-not-found, ...) instead of overloading one
+failure shape; admission control and deadline enforcement in
+:mod:`repro.serve.server` depend on the client being able to tell
+"shed" from "slow" from "absent".
+
+Framing errors (bad magic, oversized length, truncated payload,
+non-JSON body) raise :class:`ProtocolError`; the server answers with
+``ERR_BAD_REQUEST`` where a request id is recoverable and closes the
+connection, because nothing after a framing error can be trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..errors import ReproError
+
+MAGIC = 0x4F56
+#: Frames above this payload size are rejected outright: a garbage or
+#: malicious length prefix must not make the peer buffer gigabytes.
+MAX_FRAME = 1 << 20
+
+_LEN = struct.Struct(">I")
+_HEADER = struct.Struct(">HBBI")
+
+KIND_REQUEST = 0
+KIND_RESPONSE = 1
+
+# -- opcodes (the paper's op vocabulary, plus session frames) -------------
+
+OP_LOAD_VERSION = 1
+OP_LOAD_LATEST = 2
+OP_STORE_VERSION = 3
+OP_LOCK_LOAD_VERSION = 4
+OP_LOCK_LOAD_LATEST = 5
+OP_UNLOCK_VERSION = 6
+OP_TASK_BEGIN = 7
+OP_TASK_END = 8
+OP_PING = 9
+OP_STATS = 10
+
+OP_NAMES = {
+    OP_LOAD_VERSION: "load-version",
+    OP_LOAD_LATEST: "load-latest",
+    OP_STORE_VERSION: "store-version",
+    OP_LOCK_LOAD_VERSION: "lock-load-version",
+    OP_LOCK_LOAD_LATEST: "lock-load-latest",
+    OP_UNLOCK_VERSION: "unlock-version",
+    OP_TASK_BEGIN: "task-begin",
+    OP_TASK_END: "task-end",
+    OP_PING: "ping",
+    OP_STATS: "stats",
+}
+
+# -- response status codes ------------------------------------------------
+
+OK = 0
+ERR_TIMEOUT = 1
+ERR_OVERLOAD = 2
+ERR_VERSION_NOT_FOUND = 3
+ERR_VERSION_EXISTS = 4
+ERR_NOT_LOCKED = 5
+ERR_BAD_REQUEST = 6
+ERR_SHUTTING_DOWN = 7
+ERR_INTERNAL = 8
+
+STATUS_NAMES = {
+    OK: "ok",
+    ERR_TIMEOUT: "timeout",
+    ERR_OVERLOAD: "overload",
+    ERR_VERSION_NOT_FOUND: "version-not-found",
+    ERR_VERSION_EXISTS: "version-exists",
+    ERR_NOT_LOCKED: "not-locked",
+    ERR_BAD_REQUEST: "bad-request",
+    ERR_SHUTTING_DOWN: "shutting-down",
+    ERR_INTERNAL: "internal-error",
+}
+
+
+class ProtocolError(ReproError):
+    """The byte stream violated the framing or header contract."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One decoded frame; ``code`` is an opcode or a status by ``kind``."""
+
+    kind: int
+    code: int
+    request_id: int
+    body: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def op_name(self) -> str:
+        return OP_NAMES.get(self.code, f"op-{self.code}")
+
+    @property
+    def status_name(self) -> str:
+        return STATUS_NAMES.get(self.code, f"status-{self.code}")
+
+
+def encode(kind: int, code: int, request_id: int, body: dict[str, Any] | None = None) -> bytes:
+    """Encode one frame, length prefix included."""
+    if not 0 <= code <= 0xFF:
+        raise ProtocolError(f"code {code} does not fit the uint8 code field")
+    if not 0 <= request_id <= 0xFFFFFFFF:
+        raise ProtocolError(f"request id {request_id} does not fit uint32")
+    try:
+        payload_body = json.dumps(
+            body or {}, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"body is not JSON-encodable: {exc}") from exc
+    payload = _HEADER.pack(MAGIC, kind, code, request_id) + payload_body
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame payload {len(payload)} bytes exceeds MAX_FRAME {MAX_FRAME}"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def encode_request(op: int, request_id: int, body: dict[str, Any] | None = None) -> bytes:
+    return encode(KIND_REQUEST, op, request_id, body)
+
+
+def encode_response(
+    status: int, request_id: int, body: dict[str, Any] | None = None
+) -> bytes:
+    return encode(KIND_RESPONSE, status, request_id, body)
+
+
+def _decode_payload(payload: bytes) -> Message:
+    if len(payload) < _HEADER.size:
+        raise ProtocolError(
+            f"payload truncated: {len(payload)} bytes < {_HEADER.size}-byte header"
+        )
+    magic, kind, code, request_id = _HEADER.unpack_from(payload)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic 0x{magic:04X} (expected 0x{MAGIC:04X})")
+    if kind not in (KIND_REQUEST, KIND_RESPONSE):
+        raise ProtocolError(f"unknown frame kind {kind}")
+    raw_body = payload[_HEADER.size:]
+    if raw_body:
+        try:
+            body = json.loads(raw_body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ProtocolError(
+                f"frame body must be a JSON object, got {type(body).__name__}"
+            )
+    else:
+        body = {}
+    return Message(kind=kind, code=code, request_id=request_id, body=body)
+
+
+class FrameDecoder:
+    """Incremental decoder: feed arbitrary chunks, get whole messages.
+
+    Both ends of the connection own one decoder per peer and call
+    :meth:`feed` with whatever the transport handed them; partial frames
+    are buffered until complete.  Any framing violation raises
+    :class:`ProtocolError` and poisons the decoder — resynchronising
+    inside a corrupt byte stream silently would hide data corruption, so
+    the connection must be torn down instead.
+    """
+
+    __slots__ = ("_buf", "_poisoned")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._poisoned = False
+
+    def feed(self, data: bytes) -> list[Message]:
+        if self._poisoned:
+            raise ProtocolError("decoder poisoned by an earlier framing error")
+        self._buf.extend(data)
+        out: list[Message] = []
+        try:
+            while True:
+                if len(self._buf) < _LEN.size:
+                    break
+                (length,) = _LEN.unpack_from(self._buf)
+                if length > MAX_FRAME:
+                    raise ProtocolError(
+                        f"frame length {length} exceeds MAX_FRAME {MAX_FRAME}"
+                    )
+                if length < _HEADER.size:
+                    raise ProtocolError(
+                        f"frame length {length} below {_HEADER.size}-byte header"
+                    )
+                if len(self._buf) < _LEN.size + length:
+                    break
+                payload = bytes(self._buf[_LEN.size:_LEN.size + length])
+                del self._buf[:_LEN.size + length]
+                out.append(_decode_payload(payload))
+        except ProtocolError:
+            self._poisoned = True
+            raise
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._buf)
+
+
+def decode_stream(data: bytes) -> Iterator[Message]:
+    """Decode a complete byte string; trailing partial frames raise."""
+    dec = FrameDecoder()
+    yield from dec.feed(data)
+    if dec.pending_bytes:
+        raise ProtocolError(
+            f"{dec.pending_bytes} trailing byte(s) form no complete frame"
+        )

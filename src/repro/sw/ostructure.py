@@ -27,7 +27,60 @@ from ..errors import (
 
 
 class SWTimeout(SimulationError):
-    """A blocking operation exceeded its timeout (likely a protocol bug)."""
+    """A blocking operation exceeded its timeout (likely a protocol bug).
+
+    Carries structured context so callers above the structure — the
+    serving layer's deadline mapping in particular — can report *why*
+    the wait never completed instead of parroting a bare message:
+    ``address`` (the structure's name), ``op``, the ``wanted`` exact
+    version or ``cap`` for latest-loads, the ``latest`` version present
+    at expiry, the lock ``holder`` blocking the candidate version (if
+    any), and the ``timeout`` that expired.  ``str()`` output is
+    unchanged from the pre-context era.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        address: str | None = None,
+        op: str | None = None,
+        wanted: int | None = None,
+        cap: int | None = None,
+        latest: int | None = None,
+        holder: int | None = None,
+        timeout: float | None = None,
+    ):
+        self.address = address
+        self.op = op
+        self.wanted = wanted
+        self.cap = cap
+        self.latest = latest
+        self.holder = holder
+        self.timeout = timeout
+        super().__init__(message)
+
+    @property
+    def context(self) -> dict:
+        """The non-None structured fields as a JSON-able dict."""
+        fields = {
+            "address": self.address,
+            "op": self.op,
+            "wanted": self.wanted,
+            "cap": self.cap,
+            "latest": self.latest,
+            "holder": self.holder,
+            "timeout": self.timeout,
+        }
+        return {k: v for k, v in fields.items() if v is not None}
+
+    def describe(self) -> str:
+        """The message plus the context fields (diagnostic rendering)."""
+        ctx = self.context
+        if not ctx:
+            return str(self)
+        detail = ", ".join(f"{k}={v}" for k, v in ctx.items())
+        return f"{self} [{detail}]"
 
 
 #: Sentinel distinguishing "absent" from a stored ``None`` value.
@@ -68,14 +121,40 @@ class SWOStructure:
             return None
         return (v, self._versions[v])
 
-    def _wait(self, predicate, timeout: float) -> Any:
-        """Wait until ``predicate()`` returns non-None; condvar is held."""
-        deadline = None
+    def _wait(
+        self,
+        predicate,
+        timeout: float,
+        op: str,
+        wanted: int | None = None,
+        cap: int | None = None,
+    ) -> Any:
+        """Wait until ``predicate()`` returns non-None; condvar is held.
+
+        On expiry, raises :class:`SWTimeout` with structured context
+        gathered under the lock: the latest version present and — for
+        the version the caller was after (exact ``wanted``, or the best
+        candidate <= ``cap``) — the task currently holding its lock.
+        """
         result = predicate()
         while result is None:
             if not self._changed.wait(timeout=timeout):
+                candidate = wanted
+                if candidate is None and cap is not None:
+                    candidate = self._latest_at_or_below(cap)
                 raise SWTimeout(
-                    f"{self.name}: blocked operation timed out after {timeout}s"
+                    f"{self.name}: blocked operation timed out after {timeout}s",
+                    address=self.name,
+                    op=op,
+                    wanted=wanted,
+                    cap=cap,
+                    latest=max(self._versions, default=None),
+                    holder=(
+                        self._locked.get(candidate)
+                        if candidate is not None
+                        else None
+                    ),
+                    timeout=timeout,
                 )
             result = predicate()
         return result
@@ -95,7 +174,10 @@ class SWOStructure:
     def load_version(self, version: int, timeout: float = 10.0) -> Any:
         """LOAD-VERSION: blocks until ``version`` exists and is unlocked."""
         with self._changed:
-            return self._wait(lambda: self._ready_exact(version), timeout)[0]
+            return self._wait(
+                lambda: self._ready_exact(version), timeout,
+                "load-version", wanted=version,
+            )[0]
 
     def load_latest(self, cap: int, timeout: float = 10.0) -> tuple[int, Any]:
         """LOAD-LATEST: highest version <= cap, blocking while locked.
@@ -104,12 +186,17 @@ class SWOStructure:
         waiting is picked up (the renaming-unlock handoff).
         """
         with self._changed:
-            return self._wait(lambda: self._ready_latest(cap), timeout)
+            return self._wait(
+                lambda: self._ready_latest(cap), timeout, "load-latest", cap=cap
+            )
 
     def lock_load_version(self, version: int, task_id: int, timeout: float = 10.0) -> Any:
         """LOCK-LOAD-VERSION: exact load plus lock (atomic at grant time)."""
         with self._changed:
-            value = self._wait(lambda: self._ready_exact(version), timeout)[0]
+            value = self._wait(
+                lambda: self._ready_exact(version), timeout,
+                "lock-load-version", wanted=version,
+            )[0]
             self._locked[version] = task_id
             return value
 
@@ -118,7 +205,10 @@ class SWOStructure:
     ) -> tuple[int, Any]:
         """LOCK-LOAD-LATEST: capped load plus lock."""
         with self._changed:
-            version, value = self._wait(lambda: self._ready_latest(cap), timeout)
+            version, value = self._wait(
+                lambda: self._ready_latest(cap), timeout,
+                "lock-load-latest", cap=cap,
+            )
             self._locked[version] = task_id
             return version, value
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 
@@ -171,6 +172,183 @@ class TestSWOStructureThreads:
         for t in threads:
             t.join(timeout=20)
         assert o.load_version(n) == list(range(n))
+
+
+class TestSWTimeoutContext:
+    def test_exact_load_context(self):
+        o = SWOStructure("cell")
+        o.store_version(1, "a")
+        with pytest.raises(SWTimeout) as exc_info:
+            o.load_version(5, timeout=0.05)
+        exc = exc_info.value
+        assert exc.address == "cell"
+        assert exc.op == "load-version"
+        assert exc.wanted == 5
+        assert exc.latest == 1
+        assert exc.holder is None
+        assert exc.timeout == 0.05
+        assert exc.context == {
+            "address": "cell", "op": "load-version", "wanted": 5,
+            "latest": 1, "timeout": 0.05,
+        }
+
+    def test_latest_load_reports_lock_holder(self):
+        o = SWOStructure("cell")
+        o.store_version(3, "x")
+        o.lock_load_version(3, task_id=9)
+        with pytest.raises(SWTimeout) as exc_info:
+            o.load_latest(5, timeout=0.05)
+        exc = exc_info.value
+        assert exc.op == "load-latest"
+        assert exc.cap == 5
+        assert exc.wanted is None
+        assert exc.latest == 3
+        assert exc.holder == 9  # the candidate <= cap is locked by task 9
+        o.unlock_version(3, task_id=9)
+
+    def test_lock_ops_carry_their_own_op_names(self):
+        o = SWOStructure("cell")
+        with pytest.raises(SWTimeout) as e1:
+            o.lock_load_version(1, task_id=2, timeout=0.05)
+        assert e1.value.op == "lock-load-version"
+        with pytest.raises(SWTimeout) as e2:
+            o.lock_load_latest(1, task_id=2, timeout=0.05)
+        assert e2.value.op == "lock-load-latest"
+
+    def test_str_is_backward_compatible(self):
+        o = SWOStructure("cell")
+        with pytest.raises(SWTimeout) as exc_info:
+            o.load_version(9, timeout=0.05)
+        # Pre-context message, byte for byte.
+        assert str(exc_info.value) == (
+            "cell: blocked operation timed out after 0.05s"
+        )
+        # describe() appends the structured fields.
+        assert "op=load-version" in exc_info.value.describe()
+        assert "wanted=9" in exc_info.value.describe()
+
+    def test_bare_construction_has_empty_context(self):
+        exc = SWTimeout("boom")
+        assert exc.context == {}
+        assert exc.describe() == "boom"
+
+
+class TestTryBlockingParity:
+    """The non-blocking ``try_*`` probes must agree with their blocking
+    twins: a probe hit is exactly a value the blocking form would have
+    returned at that instant, and a probe miss is exactly a state the
+    blocking form would have waited on."""
+
+    def test_probe_miss_iff_blocking_waits(self):
+        o = SWOStructure()
+        # Uncreated version: both forms refuse.
+        assert o.try_load_version(1) is None
+        with pytest.raises(SWTimeout):
+            o.load_version(1, timeout=0.02)
+        # Created: both forms agree on the value.
+        o.store_version(1, "a")
+        assert o.try_load_version(1) == ("a",)
+        assert o.load_version(1) == "a"
+        # Locked: both forms refuse again.
+        o.lock_load_version(1, task_id=7)
+        assert o.try_load_version(1) is None
+        with pytest.raises(SWTimeout):
+            o.load_version(1, timeout=0.02)
+        assert o.try_load_latest(5) is None
+        with pytest.raises(SWTimeout):
+            o.load_latest(5, timeout=0.02)
+        o.unlock_version(1, task_id=7)
+        assert o.try_load_latest(5) == (1, "a")
+        assert o.load_latest(5) == (1, "a")
+
+    def test_try_lock_twins_take_the_lock_like_blocking_ones(self):
+        o = SWOStructure()
+        o.store_version(2, "b")
+        assert o.try_lock_load_version(2, task_id=1) == ("b",)
+        assert o.locker_of(2) == 1
+        # A second locker (either form) must now be refused.
+        assert o.try_lock_load_version(2, task_id=2) is None
+        assert o.try_lock_load_latest(9, task_id=2) is None
+        with pytest.raises(SWTimeout):
+            o.lock_load_version(2, task_id=2, timeout=0.02)
+        o.unlock_version(2, task_id=1)
+        assert o.try_lock_load_latest(9, task_id=2) == (2, "b")
+        o.unlock_version(2, task_id=2)
+
+    def test_parity_under_concurrent_writers_and_droppers(self):
+        # One writer extends the version chain (value == version), one
+        # dropper reclaims shadowed history, many probers hammer both
+        # API forms.  Every value either form returns must equal its
+        # version number — any disagreement is a parity bug.
+        o = SWOStructure()
+        o.store_version(0, 0)
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def writer():
+            v = 1
+            while not stop.is_set():
+                o.store_version(v, v)
+                v += 1
+                time.sleep(0.0003)
+
+        def dropper():
+            while not stop.is_set():
+                versions = o.versions()
+                if len(versions) > 8:
+                    o.reclaim_below(versions[-4])
+                time.sleep(0.001)
+
+        def prober(pid: int):
+            rng = random.Random(1000 + pid)
+            while not stop.is_set():
+                cap = rng.randint(0, 1 << 20)
+                hit = o.try_load_latest(cap)
+                if hit is not None:
+                    v, val = hit
+                    if v > cap or val != v:
+                        errors.append(f"try_load_latest({cap}) -> {hit}")
+                versions = o.versions()
+                if versions:
+                    v = rng.choice(versions)
+                    hit = o.try_load_version(v)
+                    # A miss is legal (dropped or freshly locked), but a
+                    # hit must carry the immutable value.
+                    if hit is not None and hit[0] != v:
+                        errors.append(f"try_load_version({v}) -> {hit}")
+                hit = o.try_lock_load_latest(1 << 20, task_id=pid)
+                if hit is not None:
+                    v, val = hit
+                    if val != v:
+                        errors.append(f"try_lock_load_latest -> {hit}")
+                    o.unlock_version(v, task_id=pid)
+
+        def blocking_reader():
+            while not stop.is_set():
+                v, val = o.load_latest(1 << 20, timeout=5)
+                if val != v:
+                    errors.append(f"load_latest -> ({v}, {val})")
+
+        threads = (
+            [threading.Thread(target=writer), threading.Thread(target=dropper)]
+            + [threading.Thread(target=prober, args=(i,)) for i in range(4)]
+            + [threading.Thread(target=blocking_reader)]
+        )
+        for t in threads:
+            t.start()
+        time.sleep(0.4)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert errors == []
+        # Post-quiescence: both forms agree on every surviving version.
+        for v in o.versions():
+            assert o.try_load_version(v) == (v,)
+            assert o.load_version(v, timeout=1) == v
+        gone = max(o.versions()) + 100
+        assert o.try_load_version(gone) is None
+        with pytest.raises(SWTimeout):
+            o.load_version(gone, timeout=0.02)
 
 
 class TestSWRuntime:
